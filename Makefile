@@ -1,0 +1,36 @@
+# Convenience targets for the LaPerm reproduction.
+
+PYTHON ?= python3
+SCALE ?= small
+
+.PHONY: install test test-fast bench bench-tiny figures experiments validate clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-tiny:
+	REPRO_SCALE=tiny $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures: bench
+
+experiments:
+	$(PYTHON) scripts/make_experiments_report.py $(SCALE)
+
+goldens:
+	$(PYTHON) scripts/regenerate_goldens.py
+
+validate:
+	$(PYTHON) -m repro.cli validate --scale $(SCALE)
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,40 @@
+"""Figure 2: shared footprint ratios for parent-child and child-sibling
+TBs (plus the parent-parent average quoted in Section III-A).
+
+Paper result: 38.4% parent-child, 30.5% child-sibling, 9.3% parent-parent
+on average; amr and join show near-zero child-sibling sharing; citation
+and cage15 inputs share more among siblings than graph500.
+"""
+
+from repro.analysis import analyze_footprint
+from repro.harness.report import render_footprints
+
+from benchmarks.conftest import SHAPE_CHECKS, once
+
+
+def test_fig2_shared_footprint_ratios(benchmark, workloads):
+    def run():
+        return {w.full_name: analyze_footprint(w.kernel()) for w in workloads}
+
+    results = once(benchmark, run)
+    print("\n" + render_footprints(results))
+
+    if not SHAPE_CHECKS:
+        return
+
+    pcs = [r.parent_child for r in results.values()]
+    css = [r.child_sibling for r in results.values()]
+    avg_pc = sum(pcs) / len(pcs)
+    avg_cs = sum(css) / len(css)
+
+    # shape checks against the paper
+    assert 0.25 < avg_pc < 0.55, "parent-child average should be near 38.4%"
+    assert 0.15 < avg_cs < 0.45, "child-sibling average should be near 30.5%"
+    # parent-child sharing dominates parent-parent sharing
+    avg_pp = sum(r.parent_parent for r in results.values()) / len(results)
+    assert avg_pc > avg_pp
+    # amr children work on private regions
+    assert results["amr"].child_sibling < 0.15
+    # sibling sharing: clustered inputs beat the scattered R-MAT
+    assert results["bfs-citation"].child_sibling > results["bfs-graph500"].child_sibling
+    assert results["bfs-cage15"].child_sibling > results["bfs-graph500"].child_sibling

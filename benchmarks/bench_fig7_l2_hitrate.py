@@ -1,0 +1,30 @@
+"""Figure 7: L2 cache hit rate under RR / TB-Pri / SMX-Bind /
+Adaptive-Bind, for both CDP and DTBL.
+
+Paper result: TB-Pri raises the mean L2 hit rate by 6.7% (CDP) and 8.7%
+(DTBL) over RR; the binding variants trade some L2 for L1 locality.
+"""
+
+from repro.harness.report import render_l2_hit_rates
+
+from benchmarks.conftest import SHAPE_CHECKS, once
+
+
+def test_fig7_l2_hit_rate(benchmark, evaluation_grid):
+    grid = once(benchmark, lambda: evaluation_grid)
+    print("\n" + render_l2_hit_rates(grid))
+
+    if not SHAPE_CHECKS:
+        return
+
+    for model in grid.models:
+        rr = grid.mean_metric("rr", model, "l2_hit_rate")
+        tb_pri = grid.mean_metric("tb-pri", model, "l2_hit_rate")
+        # prioritizing children must not hurt mean L2 locality
+        assert tb_pri >= rr - 0.02, f"TB-Pri should preserve/improve L2 under {model}"
+
+    # the temporal benefit is larger under DTBL (children arrive sooner)
+    gain_dtbl = grid.mean_metric("tb-pri", "dtbl", "l2_hit_rate") - grid.mean_metric(
+        "rr", "dtbl", "l2_hit_rate"
+    )
+    assert gain_dtbl > 0, "TB-Pri must improve mean L2 hit rate under DTBL"

@@ -1,0 +1,41 @@
+"""Figure 8: L1 cache hit rate under the four schedulers, CDP and DTBL.
+
+Paper result: modest mean L1 gains for TB-Pri (1.1% CDP / 2.1% DTBL);
+the SMX-binding variants gain the most L1 locality since children share
+their direct parent's (and siblings') L1.
+"""
+
+from repro.harness.report import render_l1_hit_rates
+
+from benchmarks.conftest import SHAPE_CHECKS, once
+
+
+def test_fig8_l1_hit_rate(benchmark, evaluation_grid):
+    grid = once(benchmark, lambda: evaluation_grid)
+    print("\n" + render_l1_hit_rates(grid))
+
+    if not SHAPE_CHECKS:
+        return
+
+    for model in grid.models:
+        rr = grid.mean_metric("rr", model, "l1_hit_rate")
+        smx_bind = grid.mean_metric("smx-bind", model, "l1_hit_rate")
+        assert smx_bind > rr, f"SMX binding must improve mean L1 hit rate ({model})"
+
+    # binding dominates pure prioritization on L1 locality
+    for model in grid.models:
+        assert grid.mean_metric("smx-bind", model, "l1_hit_rate") >= grid.mean_metric(
+            "tb-pri", model, "l1_hit_rate"
+        )
+
+
+def test_fig8_children_are_colocated_only_when_bound(evaluation_grid):
+    grid = evaluation_grid
+    if not SHAPE_CHECKS:
+        return
+    for model in grid.models:
+        for bench in grid.benchmarks:
+            bound = grid.get(bench, "smx-bind", model).child_same_smx_fraction
+            unbound = grid.get(bench, "rr", model).child_same_smx_fraction
+            assert bound == 1.0
+            assert unbound < 0.7

@@ -1,0 +1,45 @@
+"""Section V-D: impact of the device-launch latency on LaPerm.
+
+LaPerm's benefit relies on children executing soon after their direct
+parents; a long launch latency "can kill any potential parent-child
+locality". We sweep the launch latency from the DTBL hardware path
+(hundreds of cycles) to well beyond the measured CDP software path and
+report Adaptive-Bind's speedup over RR at each point.
+"""
+
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.harness.report import render_latency_sweep
+from repro.harness.runner import simulate
+
+from benchmarks.conftest import SCALE, SHAPE_CHECKS, once
+
+LATENCIES = [250, 1000, 4000, 16000, 64000]
+
+
+def test_latency_sweep(benchmark):
+    workload = load_benchmark("bfs-citation", scale=SCALE)
+    spec = workload.kernel()
+
+    def run():
+        rows = []
+        for latency in LATENCIES:
+            config = experiment_config(dtbl_launch_latency=latency)
+            rr = simulate(spec, "rr", "dtbl", config)
+            laperm = simulate(spec, "adaptive-bind", "dtbl", config)
+            rows.append((latency, laperm.ipc / rr.ipc, laperm.child_mean_wait))
+        return rows
+
+    rows = once(benchmark, run)
+    print("\n" + render_latency_sweep(rows))
+
+    if not SHAPE_CHECKS:
+        return
+
+    speedups = {latency: speedup for latency, speedup, _ in rows}
+    # LaPerm helps at hardware-launch latencies
+    assert speedups[LATENCIES[0]] > 1.0
+    # and the advantage erodes as the launch latency grows (allowing noise)
+    assert speedups[LATENCIES[-1]] < speedups[LATENCIES[0]] + 0.02
+    # children demonstrably wait at least the launch latency
+    waits = [wait for _, _, wait in rows]
+    assert waits[-1] > waits[0]

@@ -1,0 +1,67 @@
+"""Section IV-E: scheduler hardware overhead accounting.
+
+The LaPerm priority queues live in a 128-entry on-chip SRAM per SMX (32
+entries for CDP), overflowing to global memory. This benchmark measures
+the queue pressure the real workloads generate: entry high-water marks,
+overflow events (each costs one global-memory fetch at dispatch), and
+KDU/KMU occupancy.
+"""
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.harness.report import render_table
+
+from benchmarks.conftest import SCALE, once
+
+BENCHES = ["bfs-citation", "bfs-graph500", "regx-darpa", "amr", "join-gaussian"]
+
+
+def test_queue_overheads(benchmark):
+    workloads = [load_benchmark(name, scale=SCALE) for name in BENCHES]
+    for w in workloads:
+        w.kernel()
+
+    def run():
+        rows = []
+        for w in workloads:
+            for model in ("cdp", "dtbl"):
+                engine = Engine(
+                    experiment_config(),
+                    make_scheduler("adaptive-bind"),
+                    make_model(model),
+                    [w.kernel()],
+                )
+                stats = engine.run()
+                high_water = max(q.entry_high_water for q in engine.scheduler._smx_queues)
+                rows.append(
+                    (
+                        w.full_name,
+                        model,
+                        high_water,
+                        stats.scheduler_overflow_events,
+                        stats.kdu_high_water,
+                        stats.kmu_pending_high_water,
+                    )
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print(
+        "\n"
+        + render_table(
+            ["benchmark", "model", "max queue entries", "overflow events", "KDU high water", "KMU pending"],
+            rows,
+            title="Section IV-E: priority-queue and KDU pressure (Adaptive-Bind)",
+        )
+    )
+
+    by_model = {}
+    for name, model, high_water, overflows, kdu_hw, kmu_pending in rows:
+        by_model.setdefault(model, []).append((high_water, overflows, kdu_hw, kmu_pending))
+    # DTBL groups never consume KDU entries beyond the host kernel
+    assert all(kdu == 1 for _, _, kdu, _ in by_model["dtbl"])
+    # CDP is bounded by the 32-entry KDU and queues kernels in the KMU
+    assert all(kdu <= 32 for _, _, kdu, _ in by_model["cdp"])
+    assert any(pending > 0 for _, _, _, pending in by_model["cdp"])

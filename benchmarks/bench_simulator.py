@@ -1,0 +1,64 @@
+"""Simulator micro-benchmarks: raw engine throughput.
+
+These are genuine timing benchmarks (multiple rounds) — useful to catch
+performance regressions in the cycle loop, the memory hierarchy, and the
+dispatch stage.
+"""
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.memory.cache import Cache
+from repro.memory.coalescer import coalesce
+from repro.gpu.config import CacheConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    w = load_benchmark("bfs-citation", scale="tiny")
+    return w.kernel()
+
+
+def test_engine_throughput_rr(benchmark, tiny_spec):
+    def run():
+        engine = Engine(experiment_config(), make_scheduler("rr"), make_model("dtbl"), [tiny_spec])
+        return engine.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_engine_throughput_laperm(benchmark, tiny_spec):
+    def run():
+        engine = Engine(
+            experiment_config(), make_scheduler("adaptive-bind"), make_model("dtbl"), [tiny_spec]
+        )
+        return engine.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache(CacheConfig(size_bytes=32 * 1024, associativity=4))
+    lines = [(i * 37) % 4096 for i in range(10_000)]
+
+    def run():
+        hits = 0
+        for line in lines:
+            hits += cache.access(line)
+        return hits
+
+    benchmark(run)
+
+
+def test_coalescer_throughput(benchmark):
+    warps = [[(i * 131 + lane * 4) % (1 << 20) for lane in range(32)] for i in range(200)]
+
+    def run():
+        return sum(len(coalesce(w)) for w in warps)
+
+    benchmark(run)

@@ -1,0 +1,25 @@
+"""Table I: the simulated GPU configuration.
+
+Prints both the paper's full-size Kepler K20c description (the library
+default) and the proportionally scaled machine every experiment in this
+harness runs on (see DESIGN.md §2 for the scaling rationale).
+"""
+
+from repro.gpu.config import KEPLER_K20C
+from repro.harness.registry import experiment_config
+from repro.harness.report import render_config
+
+from benchmarks.conftest import once
+
+
+def test_table1_configuration(benchmark):
+    def run():
+        full = render_config(KEPLER_K20C, "Table I: Kepler K20c (paper configuration)")
+        scaled = render_config(
+            experiment_config(), "Table I (scaled): machine used by this harness"
+        )
+        return full + "\n\n" + scaled
+
+    text = once(benchmark, run)
+    print("\n" + text)
+    assert "13" in text

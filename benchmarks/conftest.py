@@ -1,0 +1,48 @@
+"""Shared state for the paper-reproduction benchmarks.
+
+The figure benchmarks (7, 8, 9) all consume the same benchmark x
+scheduler x model grid, which is expensive; it is computed once per
+pytest session. Scale is controlled with ``REPRO_SCALE`` (tiny / small /
+paper; default small — a full run takes a few minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.registry import experiment_config, iter_benchmarks
+from repro.harness.runner import run_grid
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def workloads(scale):
+    """All Table II workloads, built once."""
+    ws = list(iter_benchmarks(scale=scale))
+    for w in ws:
+        w.kernel()
+    return ws
+
+
+@pytest.fixture(scope="session")
+def evaluation_grid(workloads):
+    """The full Figures 7/8/9 grid, computed once per session."""
+    return run_grid(workloads, config=experiment_config())
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: paper-shape assertions need the contention regimes of small/paper scale;
+#: REPRO_SCALE=tiny runs the harness as a smoke test only
+SHAPE_CHECKS = SCALE != "tiny"

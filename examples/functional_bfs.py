@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Functional execution: run a *real* BFS through the simulator.
+
+The `repro.functional` frontend executes warp programs against
+numpy-backed device arrays: every load/store moves actual data while
+being recorded, and device launches are driven by the actual values —
+here, the vertices whose distances just improved. The output is
+bit-exact BFS distances (verified against a reference traversal) plus a
+kernel spec whose trace replays the exact addresses under any scheduler.
+
+Usage::
+
+    python examples/functional_bfs.py [n_vertices]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import experiment_config, simulate
+from repro.functional import BFSProgram, reference_bfs_distances
+from repro.workloads.datagen import citation_graph
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    graph = citation_graph(n, mean_degree=8, seed=11)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    program = BFSProgram(graph, source=0)
+    spec = program.build()
+    reference = reference_bfs_distances(graph, 0)
+    exact = np.array_equal(program.distances, reference)
+    reachable = int((reference >= 0).sum())
+    print(f"functional BFS: {program.launch_count} device launches, "
+          f"distances exact = {exact}, reachable = {reachable}/{n}")
+    assert exact, "functional BFS diverged from the reference!"
+
+    hist = np.bincount(reference[reference >= 0])
+    print("frontier sizes per level:", list(hist))
+
+    print("\nreplaying the recorded trace under the TB schedulers (DTBL):")
+    config = experiment_config()
+    base = None
+    for scheduler in ("rr", "tb-pri", "smx-bind", "adaptive-bind"):
+        stats = simulate(spec, scheduler, "dtbl", config)
+        if base is None:
+            base = stats.ipc
+        print(f"  {scheduler:14s} cycles={stats.cycles:8d} ({stats.ipc / base:5.2f}x)  "
+              f"L1={stats.l1_hit_rate:.3f}  L2={stats.l2_hit_rate:.3f}")
+    print("\nA single-source BFS serializes on its launch chain, so the"
+          "\nspeedups here come from scheduling each frontier's TB group"
+          "\npromptly and near its parent — the same mechanisms the Table II"
+          "\nbenchmarks exercise at full machine load.")
+
+
+if __name__ == "__main__":
+    main()

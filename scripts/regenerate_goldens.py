@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate tests/golden_stats.json after an intentional behaviour change.
+
+Run from the repository root::
+
+    python scripts/regenerate_goldens.py
+
+then review the diff — every changed number should be explainable by the
+change you just made.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.test_golden import COMBOS, FIELDS, GOLDEN_PATH, measure  # noqa: E402
+
+
+def main() -> None:
+    golden = {}
+    for app, inp, sched, model in COMBOS:
+        full_name, measured = measure(app, inp, sched, model)
+        golden[f"{full_name}|{sched}|{model}"] = measured
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(golden, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden)} entries)")
+
+
+if __name__ == "__main__":
+    main()

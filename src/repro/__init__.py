@@ -1,0 +1,74 @@
+"""LaPerm: Locality Aware Scheduler for Dynamic Parallelism on GPUs.
+
+A from-scratch Python reproduction of the ISCA 2016 paper by Wang, Rubin,
+Sidelnik and Yalamanchili: a trace-driven, cycle-level GPU simulator with
+CDP/DTBL dynamic parallelism, the four TB schedulers the paper evaluates
+(round-robin baseline, TB-Pri, SMX-Bind, Adaptive-Bind = LaPerm), the
+eight irregular benchmark applications, and the analysis/harness code
+that regenerates every table and figure.
+
+Quick start::
+
+    from repro import simulate, make_workload
+
+    workload = make_workload("bfs", "citation", scale="small")
+    baseline = simulate(workload.kernel(), scheduler="rr", model="dtbl")
+    laperm = simulate(workload.kernel(), scheduler="adaptive-bind", model="dtbl")
+    print(laperm.ipc / baseline.ipc)
+"""
+
+from repro.analysis import (
+    FootprintResult,
+    OccupancyTimeline,
+    analyze_footprint,
+    inter_tb_reuse,
+    reuse_distance_histogram,
+)
+from repro.core import SCHEDULER_ORDER, SCHEDULERS, ThrottledScheduler, make_scheduler
+from repro.dynpar import MODELS, make_model
+from repro.functional import BFSProgram, DeviceMemory, run_functional_kernel
+from repro.gpu import Engine, GPUConfig, KernelSpec, SimStats
+from repro.harness import (
+    BENCHMARKS,
+    GridResult,
+    experiment_config,
+    iter_benchmarks,
+    load_benchmark,
+    run_grid,
+    simulate,
+)
+from repro.workloads import APPLICATIONS, Workload, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "BENCHMARKS",
+    "BFSProgram",
+    "DeviceMemory",
+    "Engine",
+    "FootprintResult",
+    "GPUConfig",
+    "GridResult",
+    "KernelSpec",
+    "MODELS",
+    "OccupancyTimeline",
+    "SCHEDULERS",
+    "SCHEDULER_ORDER",
+    "SimStats",
+    "ThrottledScheduler",
+    "Workload",
+    "analyze_footprint",
+    "experiment_config",
+    "inter_tb_reuse",
+    "iter_benchmarks",
+    "load_benchmark",
+    "make_model",
+    "make_scheduler",
+    "make_workload",
+    "run_functional_kernel",
+    "reuse_distance_histogram",
+    "run_grid",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+::
+
+    repro list                              # benchmarks, schedulers, models
+    repro config                            # Table I machine descriptions
+    repro run bfs-citation -s adaptive-bind # one simulation
+    repro compare bfs-citation              # all schedulers on one benchmark
+    repro grid                              # Figures 7/8/9 (full evaluation)
+    repro footprint                         # Figure 2 analysis
+
+Every command accepts ``--scale tiny|small|paper`` (default: small).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import SCHEDULER_ORDER, SCHEDULERS
+from repro.dynpar import MODELS
+from repro.gpu.config import KEPLER_K20C
+from repro.harness.registry import benchmark_names, experiment_config, load_benchmark
+from repro.harness.report import (
+    render_config,
+    render_footprints,
+    render_l1_hit_rates,
+    render_l2_hit_rates,
+    render_normalized_ipc,
+)
+from repro.harness.runner import run_grid, simulate
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="small",
+        help="input size (default: small)",
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    print("\nschedulers (append +throttle for contention-aware TB throttling):")
+    for name in SCHEDULER_ORDER:
+        print(f"  {name}")
+    print("\nlaunch models:")
+    for name in MODELS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    print(render_config(KEPLER_K20C, "Table I: Kepler K20c (paper configuration)"))
+    print()
+    print(render_config(experiment_config(), "Scaled machine used by the harness"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
+    if not args.timeline:
+        stats = simulate(workload.kernel(), args.scheduler, args.model, experiment_config())
+        print(stats.summary())
+        return 0
+
+    from repro.analysis import OccupancyTimeline
+    from repro.core import make_scheduler
+    from repro.dynpar import make_model
+    from repro.gpu.engine import Engine
+
+    config = experiment_config()
+    engine = Engine(
+        config, make_scheduler(args.scheduler), make_model(args.model), [workload.kernel()]
+    )
+    timeline = OccupancyTimeline(num_smx=config.num_smx)
+    engine.observers.append(timeline)
+    stats = engine.run()
+    print(stats.summary())
+    print(timeline.render(samples=72))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
+    spec = workload.kernel()
+    base = None
+    for scheduler in SCHEDULER_ORDER:
+        stats = simulate(spec, scheduler, args.model, experiment_config())
+        if base is None:
+            base = stats.ipc
+        print(
+            f"{scheduler:14s} IPC={stats.ipc:6.2f} ({stats.ipc / base:5.2f}x)  "
+            f"L1={stats.l1_hit_rate:.3f}  L2={stats.l2_hit_rate:.3f}  "
+            f"child wait={stats.child_mean_wait:7.0f}  "
+            f"co-located={stats.child_same_cluster_fraction:.2f}"
+        )
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    benchmarks = args.benchmarks or None
+    workloads = None
+    if benchmarks:
+        workloads = [load_benchmark(b, scale=args.scale, seed=args.seed) for b in benchmarks]
+    print("running the evaluation grid (this takes a few minutes) ...", file=sys.stderr)
+    grid = run_grid(workloads, models=tuple(args.models), scale=args.scale)
+    print(render_l2_hit_rates(grid))
+    print()
+    print(render_l1_hit_rates(grid))
+    print()
+    print(render_normalized_ipc(grid))
+    if args.output:
+        from repro.harness.export import write_grid
+
+        write_grid(grid, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate a benchmark's trace once and save it for reuse."""
+    from repro.gpu.serialize import load_spec, save_spec
+
+    if args.load:
+        spec = load_spec(args.load)
+        print(f"loaded {spec.name!r}: {len(spec.bodies)} parent TBs", file=sys.stderr)
+        stats = simulate(spec, args.scheduler, args.model, experiment_config())
+        print(stats.summary())
+        return 0
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
+    save_spec(workload.kernel(), args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Fast self-check: the paper's headline shapes on one benchmark."""
+    checks = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append(ok)
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+
+    config = experiment_config()
+    workload = load_benchmark("bfs-citation", scale=args.scale, seed=args.seed)
+    print(f"validating against {workload.full_name} ({args.scale}) ...", file=sys.stderr)
+    spec = workload.kernel()
+    rr = simulate(spec, "rr", "dtbl", config)
+    tb_pri = simulate(spec, "tb-pri", "dtbl", config)
+    bind = simulate(spec, "smx-bind", "dtbl", config)
+    adaptive = simulate(spec, "adaptive-bind", "dtbl", config)
+
+    check(
+        "TB-Pri cuts child queueing delay",
+        tb_pri.child_mean_wait < rr.child_mean_wait,
+        f"{rr.child_mean_wait:.0f} -> {tb_pri.child_mean_wait:.0f} cycles",
+    )
+    check(
+        "TB-Pri improves L2 locality",
+        tb_pri.l2_hit_rate >= rr.l2_hit_rate,
+        f"{rr.l2_hit_rate:.3f} -> {tb_pri.l2_hit_rate:.3f}",
+    )
+    check(
+        "SMX-Bind co-locates every child",
+        bind.child_same_smx_fraction == 1.0,
+        f"fraction={bind.child_same_smx_fraction:.2f}",
+    )
+    check(
+        "SMX-Bind improves L1 locality",
+        bind.l1_hit_rate > rr.l1_hit_rate,
+        f"{rr.l1_hit_rate:.3f} -> {bind.l1_hit_rate:.3f}",
+    )
+    check(
+        "Adaptive-Bind balances load better than SMX-Bind",
+        adaptive.smx_load_imbalance <= bind.smx_load_imbalance,
+        f"{bind.smx_load_imbalance:.3f} -> {adaptive.smx_load_imbalance:.3f}",
+    )
+    if args.scale != "tiny":
+        check(
+            "LaPerm (Adaptive-Bind) beats round-robin",
+            adaptive.ipc > rr.ipc,
+            f"IPC {rr.ipc:.2f} -> {adaptive.ipc:.2f} ({adaptive.ipc / rr.ipc:.2f}x)",
+        )
+    ok = all(checks)
+    print("validation " + ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def cmd_footprint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_footprint
+    from repro.harness.registry import iter_benchmarks
+
+    results = {}
+    for workload in iter_benchmarks(scale=args.scale, seed=args.seed):
+        print(f"analyzing {workload.full_name} ...", file=sys.stderr)
+        results[workload.full_name] = analyze_footprint(workload.kernel())
+    print(render_footprints(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LaPerm (ISCA 2016) reproduction: locality-aware TB scheduling "
+        "for GPU dynamic parallelism",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schedulers and launch models")
+    sub.add_parser("config", help="print the Table I machine configurations")
+
+    run_p = sub.add_parser("run", help="simulate one benchmark/scheduler/model")
+    run_p.add_argument("benchmark", choices=benchmark_names())
+    run_p.add_argument("-s", "--scheduler", default="adaptive-bind")
+    run_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    run_p.add_argument("--timeline", action="store_true", help="print an SMX occupancy heatmap")
+    _add_scale(run_p)
+
+    cmp_p = sub.add_parser("compare", help="run all four schedulers on one benchmark")
+    cmp_p.add_argument("benchmark", choices=benchmark_names())
+    cmp_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    _add_scale(cmp_p)
+
+    grid_p = sub.add_parser("grid", help="run the Figures 7/8/9 evaluation grid")
+    grid_p.add_argument("--benchmarks", nargs="*", help="subset (default: all 16)")
+    grid_p.add_argument("--models", nargs="*", default=["cdp", "dtbl"], choices=sorted(MODELS))
+    grid_p.add_argument("-o", "--output", help="also export results (.json or .csv)")
+    _add_scale(grid_p)
+
+    fp_p = sub.add_parser("footprint", help="run the Figure 2 footprint analysis")
+    _add_scale(fp_p)
+
+    val_p = sub.add_parser("validate", help="fast self-check of the paper's headline shapes")
+    _add_scale(val_p)
+
+    tr_p = sub.add_parser("trace", help="save a benchmark trace, or simulate a saved one")
+    tr_p.add_argument("benchmark", nargs="?", choices=benchmark_names())
+    tr_p.add_argument("-o", "--output", default="trace.json.gz")
+    tr_p.add_argument("--load", help="simulate a previously saved trace file")
+    tr_p.add_argument("-s", "--scheduler", default="adaptive-bind")
+    tr_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    _add_scale(tr_p)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "config": cmd_config,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "grid": cmd_grid,
+    "footprint": cmd_footprint,
+    "validate": cmd_validate,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: LaPerm TB schedulers and their queues."""
+
+from repro.core.adaptive_bind import AdaptiveBindScheduler
+from repro.core.base import TBScheduler
+from repro.core.queues import Entry, MultiLevelQueue
+from repro.core.rr import RoundRobinScheduler
+from repro.core.smx_bind import SMXBindScheduler
+from repro.core.tb_pri import TBPriScheduler
+from repro.core.throttle import ThrottledScheduler
+
+SCHEDULERS = {
+    "rr": RoundRobinScheduler,
+    "tb-pri": TBPriScheduler,
+    "smx-bind": SMXBindScheduler,
+    "adaptive-bind": AdaptiveBindScheduler,
+}
+
+#: the paper's ordering for figures: baseline first, then LaPerm variants
+SCHEDULER_ORDER = ["rr", "tb-pri", "smx-bind", "adaptive-bind"]
+
+
+def make_scheduler(name: str) -> TBScheduler:
+    """Construct a TB scheduler by name.
+
+    A ``+throttle`` suffix (e.g. ``"adaptive-bind+throttle"``) wraps the
+    policy with contention-aware TB throttling (Section IV-F / [12]).
+    """
+    base_name, _, modifier = name.partition("+")
+    try:
+        scheduler = SCHEDULERS[base_name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of {sorted(SCHEDULERS)} "
+            "optionally suffixed with '+throttle'"
+        ) from None
+    if modifier == "throttle":
+        scheduler = ThrottledScheduler(scheduler)
+    elif modifier:
+        raise ValueError(f"unknown scheduler modifier {modifier!r}")
+    return scheduler
+
+
+__all__ = [
+    "AdaptiveBindScheduler",
+    "Entry",
+    "MultiLevelQueue",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "SCHEDULER_ORDER",
+    "SMXBindScheduler",
+    "TBPriScheduler",
+    "TBScheduler",
+    "ThrottledScheduler",
+    "make_scheduler",
+]

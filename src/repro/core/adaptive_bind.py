@@ -1,0 +1,65 @@
+"""Adaptive Prioritized SMX Binding (Adaptive-Bind — the full LaPerm
+scheduler, paper Section IV-C and Fig 6).
+
+SMX-Bind plus a third dispatch stage: when the current SMX's own queues
+*and* the global parent queue are both empty, the SMX adopts a *backup* —
+the priority queues of another SMX — and executes TBs bound there. The
+backup choice is recorded and reused until it drains ("fixed backup
+scheme"), which (i) keeps stolen siblings together on the thief SMX and
+(ii) avoids repeated reconfiguration overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.queues import Entry
+from repro.core.smx_bind import SMXBindScheduler
+
+
+class AdaptiveBindScheduler(SMXBindScheduler):
+    name = "adaptive-bind"
+
+    def __init__(self, fixed_backup: bool = True) -> None:
+        """``fixed_backup=False`` disables the recorded-backup scheme
+        (Section IV-C's design choice): every stage-3 dispatch re-scans
+        for a victim instead of draining one queue set. Used by the
+        ablation benchmarks."""
+        super().__init__()
+        self.fixed_backup = fixed_backup
+        self._backup: list[Optional[int]] = []
+        self.steals = 0
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        self._backup = [None] * engine.config.num_smx
+
+    def _backup_candidate(self, smx_id: int) -> Optional[Entry]:
+        """Stage 3: TBs bound to another SMX, adopted by the current one."""
+        recorded = self._backup[smx_id] if self.fixed_backup else None
+        if recorded is not None:
+            entry = self._smx_queues[recorded].head()
+            if entry is not None:
+                return entry
+            self._backup[smx_id] = None
+        # find and record the next non-empty queue set (a cluster's),
+        # scanning from the current SMX's cluster onward so steals spread
+        # across victims
+        own = self.engine.config.cluster_of(smx_id)
+        num_clusters = len(self._smx_queues)
+        for i in range(1, num_clusters + 1):
+            victim = (own + i) % num_clusters
+            entry = self._smx_queues[victim].head()
+            if entry is not None and victim != own:
+                self._backup[smx_id] = victim
+                return entry
+        return None
+
+    def _candidate_for(self, smx_id: int) -> Optional[Entry]:
+        entry = super()._candidate_for(smx_id)  # stages 1-2
+        if entry is not None:
+            return entry
+        entry = self._backup_candidate(smx_id)  # stage 3
+        if entry is not None:
+            self.steals += 1
+        return entry

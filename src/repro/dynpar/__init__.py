@@ -1,0 +1,18 @@
+"""Dynamic-parallelism launch models (CDP and DTBL)."""
+
+from repro.dynpar.cdp import CDP
+from repro.dynpar.dtbl import DTBL
+from repro.dynpar.launch import DynamicParallelismModel, clamp_priority
+
+MODELS = {"cdp": CDP, "dtbl": DTBL}
+
+
+def make_model(name: str) -> DynamicParallelismModel:
+    """Construct a dynamic-parallelism model by name ('cdp' or 'dtbl')."""
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise ValueError(f"unknown dynamic parallelism model {name!r}") from None
+
+
+__all__ = ["CDP", "DTBL", "DynamicParallelismModel", "MODELS", "clamp_priority", "make_model"]

@@ -1,0 +1,33 @@
+"""CUDA Dynamic Parallelism (CDP) launch path.
+
+Each device launch becomes a full kernel: after the (large) CDP launch
+latency it is submitted to the KMU, which admits it to the KDU when an
+entry frees up. Child TBs inherit priority = parent + 1 (clamped at L).
+Because only KDU-resident kernels are visible to the TB scheduler, CDP
+limits how much of the dynamic work LaPerm can see at once (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.dynpar.launch import DynamicParallelismModel, clamp_priority
+from repro.gpu.kernel import Kernel, ThreadBlock, spec_from_launch
+from repro.gpu.trace import LaunchSpec
+
+
+class CDP(DynamicParallelismModel):
+    name = "cdp"
+
+    def launch_latency(self) -> int:
+        return self.engine.config.cdp_launch_latency
+
+    def _deliver(self, parent_tb: ThreadBlock, spec: LaunchSpec, now: int) -> None:
+        engine = self.engine
+        priority = clamp_priority(parent_tb.priority, engine.config.max_priority_levels)
+        kernel = Kernel(
+            spec_from_launch(spec),
+            priority=priority,
+            parent=parent_tb,
+            created_at=now,
+        )
+        engine.register_kernel(kernel)
+        engine.kmu.submit(kernel, now)

@@ -1,0 +1,51 @@
+"""Dynamic Thread Block Launch (DTBL) path.
+
+A device launch becomes a lightweight TB *group* appended to an existing
+kernel whose configuration matches — in practice the direct parent's own
+kernel, as in the DTBL paper's benchmarks. The group pays only the small
+hardware launch latency, consumes no KDU entry, and its TBs are immediately
+visible to the TB scheduler once delivered.
+
+If no resident kernel matches (not exercised by our workloads but handled
+for completeness), the launch falls back to a device-kernel submission at
+DTBL latency.
+"""
+
+from __future__ import annotations
+
+from repro.dynpar.launch import DynamicParallelismModel, clamp_priority
+from repro.gpu.kernel import Kernel, ThreadBlock, spec_from_launch
+from repro.gpu.trace import LaunchSpec
+
+
+class DTBL(DynamicParallelismModel):
+    name = "dtbl"
+
+    def launch_latency(self) -> int:
+        return self.engine.config.dtbl_launch_latency
+
+    def _on_queued(self, parent_tb: ThreadBlock, spec: LaunchSpec) -> None:
+        # keep the target kernel alive (and its KDU entry held) until the
+        # group is delivered, so coalescing always finds its target
+        if parent_tb.kernel.matches(spec):
+            parent_tb.kernel.pending_launches += 1
+
+    def _deliver(self, parent_tb: ThreadBlock, spec: LaunchSpec, now: int) -> None:
+        engine = self.engine
+        priority = clamp_priority(parent_tb.priority, engine.config.max_priority_levels)
+        target = parent_tb.kernel
+        if target.matches(spec):
+            tbs = target.append_group(spec, priority=priority, parent=parent_tb, now=now)
+            target.pending_launches -= 1
+            engine.register_group(tbs)
+            engine.scheduler.on_tb_group(target, tbs, now)
+        else:
+            # configuration mismatch: fall back to a device kernel
+            kernel = Kernel(
+                spec_from_launch(spec),
+                priority=priority,
+                parent=parent_tb,
+                created_at=now,
+            )
+            engine.register_kernel(kernel)
+            engine.kmu.submit(kernel, now)

@@ -1,0 +1,25 @@
+"""Functional kernel frontend: execute-while-recording warp programs."""
+
+from repro.functional.kernels import (
+    BFSProgram,
+    SSSPProgram,
+    reference_bfs_distances,
+    reference_sssp_distances,
+)
+from repro.functional.machine import (
+    DeviceArray,
+    DeviceMemory,
+    WarpContext,
+    run_functional_kernel,
+)
+
+__all__ = [
+    "BFSProgram",
+    "SSSPProgram",
+    "DeviceArray",
+    "DeviceMemory",
+    "WarpContext",
+    "reference_bfs_distances",
+    "reference_sssp_distances",
+    "run_functional_kernel",
+]

@@ -1,0 +1,242 @@
+"""Functionally-executed dynamic-parallelism kernels.
+
+These kernels compute *real* results (verifiable against reference
+implementations) while recording the trace their execution touches.
+They follow the same CDP patterns as the trace-built Table II
+benchmarks; the difference is that every branch, launch, and address is
+driven by actual data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.functional.machine import DeviceMemory, WarpContext, run_functional_kernel
+from repro.gpu.kernel import KernelSpec
+from repro.workloads.datagen import CSRGraph
+
+WARP = 32
+
+
+@dataclass
+class BFSProgram:
+    """Dynamic-parallelism BFS over a CSR graph.
+
+    Relaxation semantics (as the CDP BFS codes use): a thread expanding
+    vertex ``v`` updates any neighbour whose distance would improve and
+    appends it to a device worklist; improved vertices are re-expanded by
+    a nested device launch. Execution is sequential at build time, so the
+    result is deterministic and exact.
+    """
+
+    graph: CSRGraph
+    source: int = 0
+    threads_per_tb: int = 32
+
+    def __post_init__(self) -> None:
+        g = self.graph
+        self.memory = DeviceMemory()
+        self.row = self.memory.alloc("row_offsets", g.row_offsets.astype(np.int64))
+        self.col = self.memory.alloc(
+            "col_indices",
+            g.col_indices.astype(np.int64) if g.num_edges else np.zeros(1, dtype=np.int64),
+        )
+        self.dist = self.memory.full("dist", g.num_vertices, -1)
+        # device worklist: discoverers append, expansions read their segment
+        capacity = max(64, 8 * (g.num_edges + g.num_vertices))
+        self.worklist = self.memory.zeros("worklist", capacity)
+        self.cursor = self.memory.zeros("worklist_cursor", 1)
+        self.launch_count = 0
+
+    # ----- the device kernel ----------------------------------------------------
+    def expand(self, ctx: WarpContext, seg_start: int, seg_len: int) -> None:
+        """Expand worklist[seg_start : seg_start + seg_len] (one thread per
+        worklist slot; trailing lanes of the last warp are inactive)."""
+        active = ctx.lanes[ctx.lanes < seg_len]
+        if len(active) == 0:
+            return
+        verts = ctx.load(self.worklist, seg_start + active)
+        starts = ctx.load(self.row, verts)
+        ends = ctx.load(self.row, verts + 1)
+        dists = ctx.load(self.dist, verts)
+        ctx.compute(4)
+
+        improved: list[int] = []
+        max_deg = int((ends - starts).max()) if len(verts) else 0
+        for k in range(max_deg):
+            lane_mask = (ends - starts) > k
+            if not lane_mask.any():
+                break
+            edge_idx = starts[lane_mask] + k
+            neighbors = ctx.load(self.col, edge_idx)
+            ctx.load(self.dist, neighbors)  # the relaxation's distance check
+            candidate = dists[lane_mask] + 1
+            # two lanes may reach the same neighbour in one step: keep the
+            # minimum candidate (the hardware resolves this with atomicMin)
+            updates: dict[int, int] = {}
+            for u, cand in zip(neighbors, candidate):
+                u, cand = int(u), int(cand)
+                current = updates.get(u, int(self.dist.data[u]))
+                if current == -1 or cand < current:
+                    updates[u] = cand
+            if updates:
+                ctx.store(self.dist, list(updates.keys()), list(updates.values()))
+                for u in updates:
+                    if u not in improved:
+                        improved.append(u)
+            ctx.compute(2)
+
+        if improved:
+            # reserve a worklist segment (the device atomic) and publish it
+            seg = int(self.cursor.data[0])
+            if seg + len(improved) > len(self.worklist.data):
+                raise RuntimeError("worklist overflow; increase capacity")
+            self.cursor.data[0] = seg + len(improved)
+            ctx.store(self.cursor, [0], [seg + len(improved)])
+            ctx.store(self.worklist, np.arange(seg, seg + len(improved)), improved)
+            self.launch_count += 1
+            ctx.launch(
+                self.expand,
+                len(improved),
+                seg,
+                len(improved),
+                threads_per_tb=self.threads_per_tb,
+                name="bfs-expand",
+            )
+
+    # ----- entry point ------------------------------------------------------------
+    def build(self, max_depth: int = 4096) -> KernelSpec:
+        """Run BFS from ``source``; returns the recorded kernel spec.
+
+        After this returns, ``self.distances`` holds the exact BFS
+        distances (-1 for unreachable vertices).
+        """
+        self.dist.data[self.source] = 0
+        self.worklist.data[0] = self.source
+        self.cursor.data[0] = 1
+        return run_functional_kernel(
+            self.expand,
+            1,  # one thread expands the source
+            0,
+            1,
+            threads_per_tb=self.threads_per_tb,
+            name="bfs-functional",
+            max_depth=max_depth,
+        )
+
+    @property
+    def distances(self) -> np.ndarray:
+        return self.dist.data
+
+
+def reference_bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Reference BFS distances via plain breadth-first traversal."""
+    from collections import deque
+
+    dist = np.full(graph.num_vertices, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            u = int(u)
+            if dist[u] == -1:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+@dataclass
+class SSSPProgram(BFSProgram):
+    """Dynamic-parallelism single-source shortest paths: BFS's relaxation
+    generalized with per-edge integer weights (the device kernel loads the
+    weight alongside the column index, as the Table II ``sssp`` traces do).
+    """
+
+    max_weight: int = 10
+    weight_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        rng = np.random.default_rng(self.weight_seed)
+        m = max(1, self.graph.num_edges)
+        self.edge_weights = self.memory.alloc(
+            "weights", rng.integers(1, self.max_weight + 1, size=m).astype(np.int64)
+        )
+
+    def expand(self, ctx: WarpContext, seg_start: int, seg_len: int) -> None:
+        active = ctx.lanes[ctx.lanes < seg_len]
+        if len(active) == 0:
+            return
+        verts = ctx.load(self.worklist, seg_start + active)
+        starts = ctx.load(self.row, verts)
+        ends = ctx.load(self.row, verts + 1)
+        dists = ctx.load(self.dist, verts)
+        ctx.compute(4)
+
+        improved: list[int] = []
+        max_deg = int((ends - starts).max()) if len(verts) else 0
+        for k in range(max_deg):
+            lane_mask = (ends - starts) > k
+            if not lane_mask.any():
+                break
+            edge_idx = starts[lane_mask] + k
+            neighbors = ctx.load(self.col, edge_idx)
+            weights = ctx.load(self.edge_weights, edge_idx)
+            ctx.load(self.dist, neighbors)  # the relaxation's distance check
+            candidate = dists[lane_mask] + weights
+            updates: dict[int, int] = {}
+            for u, cand in zip(neighbors, candidate):
+                u, cand = int(u), int(cand)
+                current = updates.get(u, int(self.dist.data[u]))
+                if current == -1 or cand < current:
+                    updates[u] = cand
+            if updates:
+                ctx.store(self.dist, list(updates.keys()), list(updates.values()))
+                for u in updates:
+                    if u not in improved:
+                        improved.append(u)
+            ctx.compute(3)
+
+        if improved:
+            seg = int(self.cursor.data[0])
+            if seg + len(improved) > len(self.worklist.data):
+                raise RuntimeError("worklist overflow; increase capacity")
+            self.cursor.data[0] = seg + len(improved)
+            ctx.store(self.cursor, [0], [seg + len(improved)])
+            ctx.store(self.worklist, np.arange(seg, seg + len(improved)), improved)
+            self.launch_count += 1
+            ctx.launch(
+                self.expand,
+                len(improved),
+                seg,
+                len(improved),
+                threads_per_tb=self.threads_per_tb,
+                name="sssp-expand",
+            )
+
+
+def reference_sssp_distances(
+    graph: CSRGraph, weights: np.ndarray, source: int
+) -> np.ndarray:
+    """Reference shortest-path distances (Dijkstra over the directed CSR)."""
+    import heapq
+
+    n = graph.num_vertices
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v] >= 0:
+            continue
+        start = int(graph.row_offsets[v])
+        for offset, u in enumerate(graph.neighbors(v)):
+            u = int(u)
+            candidate = d + int(weights[start + offset])
+            if dist[u] == -1 or candidate < dist[u]:
+                dist[u] = candidate
+                heapq.heappush(heap, (candidate, u))
+    return dist

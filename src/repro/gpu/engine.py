@@ -1,0 +1,229 @@
+"""The cycle-level simulation engine.
+
+The engine owns the machine state (SMXs, memory hierarchy, KMU, KDU) and
+advances a global clock. Each cycle it:
+
+1. delivers device launches whose latency has elapsed (CDP kernels to the
+   KMU, DTBL groups onto their target kernels),
+2. retires thread blocks whose last warp finished, freeing SMX resources
+   and KDU entries,
+3. invokes the pluggable TB scheduler, which may place **one** TB on one
+   SMX (the paper's one-TB-per-cycle dispatch stage),
+4. lets every SMX issue at most one instruction.
+
+When nothing can happen, the clock jumps to the next event so that
+memory-stall-dominated regions do not cost wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.kdu import KDU
+from repro.gpu.kernel import Kernel, KernelSpec, TBState, ThreadBlock
+from repro.gpu.kmu import KMU
+from repro.gpu.smx import SMX
+from repro.gpu.stats import SimStats
+from repro.gpu.trace import LaunchSpec
+from repro.memory.hierarchy import MemoryHierarchy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import TBScheduler
+    from repro.dynpar.launch import DynamicParallelismModel
+
+_INFINITY = float("inf")
+
+
+class DeadlockError(RuntimeError):
+    """No event can ever make progress (e.g. a TB too large for any SMX)."""
+
+
+class Engine:
+    """One simulation run: machine + scheduler + dynamic-parallelism model."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        scheduler: "TBScheduler",
+        dynpar: "DynamicParallelismModel",
+        host_kernels: Sequence[KernelSpec],
+        *,
+        max_cycles: Optional[int] = None,
+    ) -> None:
+        if not host_kernels:
+            raise ValueError("need at least one host kernel")
+        self.config = config
+        self.scheduler = scheduler
+        self.dynpar = dynpar
+        self.max_cycles = max_cycles
+        self.memory = MemoryHierarchy(config)
+        self.smxs = [SMX(i, config) for i in range(config.num_smx)]
+        self.kdu = KDU(config.kdu_entries)
+        self.kmu = KMU(self.kdu, prioritized=scheduler.prioritized_kmu)
+        self.kmu.on_admit = self._on_kernel_admitted
+        self.now = 0
+        self.stats = SimStats()
+        self._retire_heap: list[tuple[int, int, ThreadBlock]] = []
+        self._retire_seq = itertools.count()
+        self._live_tbs = 0
+        self._finished = False
+        # observers receive (event, tb, cycle) for "dispatch" and "retire";
+        # used by analysis tools (e.g. the occupancy timeline)
+        self.observers: list = []
+
+        scheduler.attach(self)
+        dynpar.attach(self)
+
+        for spec in host_kernels:
+            kernel = Kernel(spec, priority=0, created_at=0)
+            self.register_kernel(kernel)
+            self.kmu.submit(kernel, 0)
+
+    # ----- bookkeeping hooks (called by dynpar / SMXs) ---------------------
+    def register_kernel(self, kernel: Kernel) -> None:
+        """Account for a newly created kernel's thread blocks."""
+        self._live_tbs += kernel.num_tbs
+
+    def register_group(self, tbs: Sequence[ThreadBlock]) -> None:
+        """Account for a DTBL group appended to an existing kernel."""
+        self._live_tbs += len(tbs)
+
+    def _on_kernel_admitted(self, kernel: Kernel, now: int) -> None:
+        self.scheduler.on_kernel_arrival(kernel, now)
+
+    def handle_launch(self, parent_tb: ThreadBlock, spec: LaunchSpec, now: int) -> None:
+        """A LAUNCH instruction executed on an SMX."""
+        self.stats.launches += 1
+        self.dynpar.queue_launch(parent_tb, spec, now)
+
+    def schedule_retire(self, tb: ThreadBlock, time: int) -> None:
+        """The last warp of ``tb`` finishes at ``time``."""
+        heapq.heappush(self._retire_heap, (time, next(self._retire_seq), tb))
+
+    def record_dispatch(self, tb: ThreadBlock, now: int) -> None:
+        """Called by schedulers after placing a TB (statistics)."""
+        for observer in self.observers:
+            observer("dispatch", tb, now)
+        self.stats.tbs_dispatched += 1
+        if tb.is_dynamic:
+            self.stats.child_tbs_dispatched += 1
+            self.stats.child_wait_total += now - tb.created_at
+            parent = tb.parent
+            if parent is not None and parent.smx_id is not None:
+                if parent.smx_id == tb.smx_id:
+                    self.stats.child_same_smx += 1
+                if self.config.cluster_of(parent.smx_id) == self.config.cluster_of(tb.smx_id):
+                    self.stats.child_same_cluster += 1
+
+    # ----- main loop --------------------------------------------------------
+    def _retire_due(self, now: int) -> bool:
+        retired = False
+        heap = self._retire_heap
+        while heap and heap[0][0] <= now:
+            time, _, tb = heapq.heappop(heap)
+            smx = self.smxs[tb.smx_id]
+            smx.release(tb)
+            tb.state = TBState.DONE
+            tb.retired_at = time
+            for observer in self.observers:
+                observer("retire", tb, time)
+            kernel = tb.kernel
+            kernel.retired_tbs += 1
+            self._live_tbs -= 1
+            retired = True
+            if kernel.complete and kernel in self.kdu:
+                self.kdu.retire(kernel)
+                self.kmu.fill_kdu(now)
+        return retired
+
+    def _work_remaining(self) -> bool:
+        return (
+            self._live_tbs > 0
+            or self.dynpar.pending_count > 0
+            or not self.kmu.drained
+        )
+
+    def _next_event_time(self, now: int) -> float:
+        candidates: list[float] = []
+        if self._retire_heap:
+            candidates.append(float(self._retire_heap[0][0]))
+        nxt = self.dynpar.next_delivery_time()
+        if nxt is not None:
+            candidates.append(float(nxt))
+        for smx in self.smxs:
+            candidates.append(smx.next_event_time(now))
+        return min(candidates) if candidates else _INFINITY
+
+    def run(self) -> SimStats:
+        """Run to completion and return the statistics."""
+        if self._finished:
+            raise RuntimeError("engine instances are single-use")
+        now = self.now
+        # cycles spent rotating the dispatch stage with no other event in
+        # sight: bounded, or a TB that fits nowhere would spin forever
+        stall_budget = 4 * len(self.smxs) + 16
+        stalled = 0
+        while self._work_remaining():
+            self.dynpar.deliver_due(now)
+            retired = self._retire_due(now)
+            placed = self.scheduler.dispatch(now) is not None
+            issued = False
+            for smx in self.smxs:
+                if smx.try_issue(now, self):
+                    issued = True
+            if placed or issued or retired:
+                now += 1
+                stalled = 0
+            else:
+                nxt = self._next_event_time(now)
+                if nxt != _INFINITY:
+                    now = max(now + 1, int(nxt))
+                    stalled = 0
+                elif self.scheduler.has_pending():
+                    # idle machine, but the dispatch rotation may reach a
+                    # suitable SMX within one sweep
+                    now += 1
+                    stalled += 1
+                    if stalled > stall_budget:
+                        raise DeadlockError(
+                            f"dispatch cannot place any pending TB "
+                            f"(cycle {now}, {self._live_tbs} live TBs)"
+                        )
+                else:
+                    if self._work_remaining():
+                        raise DeadlockError(
+                            f"no progress possible at cycle {now}: "
+                            f"{self._live_tbs} live TBs, "
+                            f"{self.dynpar.pending_count} pending launches, "
+                            f"KMU drained={self.kmu.drained}"
+                        )
+                    break
+            if self.max_cycles is not None and now > self.max_cycles:
+                raise RuntimeError(f"exceeded max_cycles={self.max_cycles}")
+        self.now = now
+        self._finished = True
+        return self._collect_stats()
+
+    # ----- results -----------------------------------------------------------
+    def _collect_stats(self) -> SimStats:
+        stats = self.stats
+        stats.cycles = self.now
+        stats.instructions = sum(s.issued_instructions for s in self.smxs)
+        l1 = self.memory.l1_stats_merged()
+        stats.l1_accesses = l1.accesses
+        stats.l1_hits = l1.hits
+        l2 = self.memory.l2_stats_merged()
+        stats.l2_accesses = l2.accesses
+        stats.l2_hits = l2.hits
+        stats.dram_accesses = self.memory.dram_transactions()
+        stats.dram_mean_latency = self.memory.dram_mean_latency()
+        stats.per_smx_instructions = [s.issued_instructions for s in self.smxs]
+        stats.per_smx_busy_cycles = [s.issue_cycles for s in self.smxs]
+        stats.per_smx_tbs = [s.tbs_executed for s in self.smxs]
+        stats.scheduler_overflow_events = self.scheduler.overflow_events
+        stats.kdu_high_water = self.kdu.high_water
+        stats.kmu_pending_high_water = self.kmu.pending_high_water
+        return stats

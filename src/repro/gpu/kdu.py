@@ -1,0 +1,48 @@
+"""Kernel Distributor Unit (KDU).
+
+The KDU holds the kernels that are *resident* on the GPU — at most 32
+(``GPUConfig.kdu_entries``), matching the concurrent-kernel limit of
+CDP-capable hardware. Only TBs of KDU-resident kernels are visible to the
+SMX scheduler, which is the visibility limitation the paper discusses for
+LaPerm-on-CDP (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernel import Kernel
+
+
+class KDU:
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("KDU needs at least one entry")
+        self.capacity = entries
+        self.kernels: list[Kernel] = []  # in arrival (FCFS) order
+        # statistics
+        self.high_water = 0
+        self.admissions = 0
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self.kernels)
+
+    @property
+    def full(self) -> bool:
+        return len(self.kernels) >= self.capacity
+
+    def admit(self, kernel: Kernel) -> None:
+        if self.full:
+            raise RuntimeError("KDU is full")
+        self.kernels.append(kernel)
+        self.admissions += 1
+        self.high_water = max(self.high_water, len(self.kernels))
+
+    def retire(self, kernel: Kernel) -> None:
+        """Free the entry of a completed kernel."""
+        self.kernels.remove(kernel)
+
+    def __contains__(self, kernel: Kernel) -> bool:
+        return kernel in self.kernels
+
+    def __len__(self) -> int:
+        return len(self.kernels)

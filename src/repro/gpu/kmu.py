@@ -1,0 +1,62 @@
+"""Kernel Management Unit (KMU).
+
+The KMU receives kernels — host-launched at time 0, device-launched (CDP)
+during execution — and moves them into the KDU as entries free up.
+
+Two admission policies exist, matching the paper:
+
+* ``fcfs`` (baseline): kernels enter the KDU strictly in arrival order.
+* ``prioritized`` (LaPerm): among pending device kernels the KMU picks the
+  highest clamped priority first (FCFS within a priority level), checking
+  SMX-bound queues round-robin; host kernels sit at the lowest priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.gpu.kdu import KDU
+from repro.gpu.kernel import Kernel
+
+
+class KMU:
+    def __init__(self, kdu: KDU, *, prioritized: bool = False) -> None:
+        self.kdu = kdu
+        self.prioritized = prioritized
+        self._seq = itertools.count()
+        # pending kernels not yet admitted to the KDU: (priority, seq, kernel)
+        self._pending: list[tuple[int, int, Kernel]] = []
+        # invoked whenever a kernel becomes KDU-resident
+        self.on_admit: Optional[Callable[[Kernel, int], None]] = None
+        self.pending_high_water = 0
+
+    def submit(self, kernel: Kernel, now: int) -> None:
+        """Receive a kernel (host launch or CDP device launch)."""
+        self._pending.append((kernel.priority, next(self._seq), kernel))
+        self.pending_high_water = max(self.pending_high_water, len(self._pending))
+        self.fill_kdu(now)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _pick_index(self) -> int:
+        if not self.prioritized:
+            # FCFS: smallest sequence number
+            return min(range(len(self._pending)), key=lambda i: self._pending[i][1])
+        # highest priority first, FCFS within a level
+        return min(range(len(self._pending)), key=lambda i: (-self._pending[i][0], self._pending[i][1]))
+
+    def fill_kdu(self, now: int) -> None:
+        """Admit pending kernels while KDU entries are free."""
+        while self._pending and not self.kdu.full:
+            idx = self._pick_index()
+            _, _, kernel = self._pending.pop(idx)
+            self.kdu.admit(kernel)
+            if self.on_admit is not None:
+                self.on_admit(kernel, now)
+
+    @property
+    def drained(self) -> bool:
+        return not self._pending

@@ -1,0 +1,164 @@
+"""Kernel-trace serialization.
+
+Workload traces can take seconds to minutes to generate (graph synthesis
+plus per-warp trace building). This module saves a `KernelSpec` — the
+complete launch tree included — to a gzip-compressed JSON file and loads
+it back, preserving body sharing (a `TBBody` referenced by several
+launches round-trips to a single object).
+
+Format: a flat table of bodies (instruction streams) and launch specs,
+referenced by index, so arbitrarily deep launch trees serialize without
+recursion.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Optional
+
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import Instr, LaunchSpec, Op, TBBody
+
+FORMAT_VERSION = 1
+
+
+def _instr_to_obj(instr: Instr, spec_ids: dict[int, int]) -> list:
+    if instr.op == Op.COMPUTE:
+        return ["c", instr.cycles]
+    if instr.op == Op.LOAD:
+        return ["l", list(instr.addresses)]
+    if instr.op == Op.STORE:
+        return ["s", list(instr.addresses)]
+    return ["x", spec_ids[id(instr.launch)]]
+
+
+def _collect(spec: KernelSpec):
+    """Index every body and launch spec reachable from ``spec``."""
+    bodies: list[TBBody] = []
+    body_ids: dict[int, int] = {}
+    launches: list[LaunchSpec] = []
+    launch_ids: dict[int, int] = {}
+
+    def visit_body(body: TBBody) -> None:
+        if id(body) in body_ids:
+            return
+        body_ids[id(body)] = len(bodies)
+        bodies.append(body)
+        for child_spec in body.launches():
+            visit_launch(child_spec)
+
+    def visit_launch(launch_spec: LaunchSpec) -> None:
+        if id(launch_spec) in launch_ids:
+            return
+        launch_ids[id(launch_spec)] = len(launches)
+        launches.append(launch_spec)
+        for body in launch_spec.bodies:
+            visit_body(body)
+
+    for body in spec.bodies:
+        visit_body(body)
+    return bodies, body_ids, launches, launch_ids
+
+
+def spec_to_obj(spec: KernelSpec) -> dict:
+    """Serialize a kernel spec to plain JSON-compatible objects."""
+    bodies, body_ids, launches, launch_ids = _collect(spec)
+    return {
+        "version": FORMAT_VERSION,
+        "name": spec.name,
+        "resources": {
+            "threads": spec.resources.threads,
+            "regs_per_thread": spec.resources.regs_per_thread,
+            "smem_bytes": spec.resources.smem_bytes,
+        },
+        "bodies": [
+            [[_instr_to_obj(i, launch_ids) for i in warp] for warp in body.warps]
+            for body in bodies
+        ],
+        "launches": [
+            {
+                "bodies": [body_ids[id(b)] for b in launch_spec.bodies],
+                "threads_per_tb": launch_spec.threads_per_tb,
+                "regs_per_thread": launch_spec.regs_per_thread,
+                "smem_per_tb": launch_spec.smem_per_tb,
+                "name": launch_spec.name,
+            }
+            for launch_spec in launches
+        ],
+        "roots": [body_ids[id(b)] for b in spec.bodies],
+    }
+
+
+def spec_from_obj(obj: dict) -> KernelSpec:
+    """Rebuild a kernel spec from :func:`spec_to_obj` output."""
+    if obj.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {obj.get('version')!r}")
+
+    launch_objs = obj["launches"]
+    launch_specs: list[Optional[LaunchSpec]] = [None] * len(launch_objs)
+    bodies: list[Optional[TBBody]] = [None] * len(obj["bodies"])
+
+    def build_body(index: int) -> TBBody:
+        if bodies[index] is not None:
+            return bodies[index]
+        warps = []
+        for warp_obj in obj["bodies"][index]:
+            instrs = []
+            for item in warp_obj:
+                kind, payload = item
+                if kind == "c":
+                    instrs.append(Instr(Op.COMPUTE, cycles=payload))
+                elif kind == "l":
+                    instrs.append(Instr(Op.LOAD, addresses=tuple(payload)))
+                elif kind == "s":
+                    instrs.append(Instr(Op.STORE, addresses=tuple(payload)))
+                elif kind == "x":
+                    instrs.append(Instr(Op.LAUNCH, launch=build_launch(payload)))
+                else:
+                    raise ValueError(f"unknown instruction kind {kind!r}")
+            warps.append(instrs)
+        body = TBBody(warps=warps)
+        bodies[index] = body
+        return body
+
+    def build_launch(index: int) -> LaunchSpec:
+        if launch_specs[index] is not None:
+            return launch_specs[index]
+        entry = launch_objs[index]
+        # reserve the slot first: launch trees are acyclic, but bodies of
+        # this launch may reference later launches
+        spec = LaunchSpec(
+            bodies=[TBBody(warps=[[Instr(Op.COMPUTE, cycles=1)]])],  # placeholder
+            threads_per_tb=entry["threads_per_tb"],
+            regs_per_thread=entry["regs_per_thread"],
+            smem_per_tb=entry["smem_per_tb"],
+            name=entry["name"],
+        )
+        launch_specs[index] = spec
+        spec.bodies = [build_body(i) for i in entry["bodies"]]
+        return spec
+
+    roots = [build_body(i) for i in obj["roots"]]
+    resources = obj["resources"]
+    return KernelSpec(
+        name=obj["name"],
+        bodies=roots,
+        resources=ResourceReq(
+            threads=resources["threads"],
+            regs_per_thread=resources["regs_per_thread"],
+            smem_bytes=resources["smem_bytes"],
+        ),
+    )
+
+
+def save_spec(spec: KernelSpec, path: str) -> None:
+    """Write a kernel spec to a gzip-compressed JSON trace file."""
+    with gzip.open(path, "wt", encoding="utf-8") as f:
+        json.dump(spec_to_obj(spec), f, separators=(",", ":"))
+
+
+def load_spec(path: str) -> KernelSpec:
+    """Load a kernel spec written by :func:`save_spec`."""
+    with gzip.open(path, "rt", encoding="utf-8") as f:
+        return spec_from_obj(json.load(f))

@@ -1,0 +1,270 @@
+"""Stream Multiprocessor (SMX) model.
+
+Each SMX tracks its resource pools (thread slots, TB slots, registers,
+shared memory), the warp contexts of its resident thread blocks, and a
+single-issue pipeline fed by a warp scheduler (GTO by default, LRR
+optionally). One instruction issues per cycle at most; multi-cycle compute
+instructions occupy the issue port for their full duration, modelling the
+back-to-back arithmetic they stand for.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import TBState, ThreadBlock
+from repro.gpu.trace import Instr, Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.engine import Engine
+
+_INFINITY = float("inf")
+
+
+class WarpContext:
+    """Runtime state of one warp.
+
+    ``outstanding`` models memory-level parallelism: consecutive loads
+    pipeline (each takes one issue cycle), and the warp only stalls when a
+    *use* — any non-load instruction — is reached before the slowest
+    outstanding load has returned.
+    """
+
+    __slots__ = ("instrs", "pc", "ready_at", "outstanding", "tb", "age", "smx_id")
+
+    def __init__(self, instrs: list[Instr], tb: ThreadBlock, age: int, smx_id: int) -> None:
+        self.instrs = instrs
+        self.pc = 0
+        self.ready_at = 0
+        self.outstanding = 0  # completion time of the slowest in-flight load
+        self.tb = tb
+        self.age = age  # global issue-age: smaller = older (dispatched earlier)
+        self.smx_id = smx_id
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.instrs)
+
+    def blocked_on_loads(self, now: int) -> bool:
+        """True when the next instruction must wait for in-flight loads."""
+        if self.done or self.outstanding <= now:
+            return False
+        return self.instrs[self.pc].op != Op.LOAD
+
+
+class SMX:
+    """One streaming multiprocessor."""
+
+    def __init__(self, smx_id: int, config: GPUConfig) -> None:
+        self.smx_id = smx_id
+        self.config = config
+        self.free_threads = config.max_threads_per_smx
+        self.free_tb_slots = config.max_tbs_per_smx
+        # dynamic residency cap, adjusted by contention-aware TB throttling
+        # (Section IV-F / [12]); max_tbs_per_smx = no throttling
+        self.dynamic_cap = config.max_tbs_per_smx
+        self.free_registers = config.max_registers_per_smx
+        self.free_smem = config.shared_mem_per_smx
+        self.port_free_at = 0
+        # warps ready to issue, keyed by (tier, age): tier 0 = member of
+        # the two-level active set (always 0 for GTO/LRR), then oldest-first
+        self._ready: list[tuple[int, int, WarpContext]] = []
+        # warps waiting on latency, keyed by wake-up time
+        self._stalled: list[tuple[int, int, WarpContext]] = []
+        self._current: Optional[WarpContext] = None  # GTO greedy target
+        self._age_counter = itertools.count()
+        self._policy = config.warp_scheduler
+        # two-level active set (identity-keyed: ages rotate under LRR/TL)
+        self._active: set[int] = set()
+        self.resident_tbs: set[ThreadBlock] = set()
+        # statistics
+        self.issued_instructions = 0
+        self.issue_cycles = 0  # cycles the issue port was occupied
+        self.tbs_executed = 0
+
+    # ----- occupancy -------------------------------------------------------
+    def can_fit(self, tb: ThreadBlock) -> bool:
+        res = tb.resources
+        return (
+            self.free_tb_slots >= 1
+            and len(self.resident_tbs) < self.dynamic_cap
+            and self.free_threads >= res.threads
+            and self.free_registers >= res.registers
+            and self.free_smem >= res.smem_bytes
+        )
+
+    def place(self, tb: ThreadBlock, now: int, *, start_delay: int = 0) -> None:
+        """Accept a thread block; its warps become issueable at
+        ``now + start_delay`` (the delay models overflow-queue fetches)."""
+        if not self.can_fit(tb):
+            raise RuntimeError(f"SMX{self.smx_id} cannot fit {tb!r}")
+        res = tb.resources
+        self.free_tb_slots -= 1
+        self.free_threads -= res.threads
+        self.free_registers -= res.registers
+        self.free_smem -= res.smem_bytes
+        tb.state = TBState.RUNNING
+        tb.smx_id = self.smx_id
+        tb.dispatched_at = now
+        tb.active_warps = tb.body.num_warps
+        self.resident_tbs.add(tb)
+        start = now + start_delay
+        for warp_instrs in tb.body.warps:
+            warp = WarpContext(warp_instrs, tb, next(self._age_counter), self.smx_id)
+            warp.ready_at = start
+            if start <= now:
+                self._push_ready(warp)
+            else:
+                heapq.heappush(self._stalled, (start, warp.age, warp))
+
+    def release(self, tb: ThreadBlock) -> None:
+        """Free a retired thread block's resources."""
+        res = tb.resources
+        self.free_tb_slots += 1
+        self.free_threads += res.threads
+        self.free_registers += res.registers
+        self.free_smem += res.smem_bytes
+        self.resident_tbs.discard(tb)
+        self.tbs_executed += 1
+
+    # ----- issue -----------------------------------------------------------
+    def _push_ready(self, warp: WarpContext) -> None:
+        tier = 0 if self._policy != "tl" or id(warp) in self._active else 1
+        heapq.heappush(self._ready, (tier, warp.age, warp))
+
+    def _park(self, warp: WarpContext, wake_at: int, now: int) -> None:
+        """Move a stalling warp to the wait heap; long memory stalls expel
+        it from the two-level active set."""
+        if self._policy == "tl" and wake_at - now > self.config.tl_demote_stall:
+            self._active.discard(id(warp))
+        heapq.heappush(self._stalled, (wake_at, warp.age, warp))
+
+    def _wake_stalled(self, now: int) -> None:
+        stalled = self._stalled
+        while stalled and stalled[0][0] <= now:
+            _, _, warp = heapq.heappop(stalled)
+            self._push_ready(warp)
+
+    def _pick_warp(self, now: int) -> Optional[WarpContext]:
+        """Warp-scheduler policy. GTO keeps the greedy warp until it stalls
+        or retires, falling back oldest-first; LRR rotates over all ready
+        warps; TL rotates over the bounded active set, promoting the oldest
+        pending warp only when a slot is free."""
+        self._wake_stalled(now)
+        current = self._current
+        if current is not None:
+            if current.ready_at <= now:
+                return current
+            # demote: the greedy warp stalled between issues; park it so it
+            # is not lost while a different warp becomes current
+            self._current = None
+            self._park(current, current.ready_at, now)
+        if not self._ready:
+            return None
+        tier, _, warp = self._ready[0]
+        if tier == 1:  # only possible under TL: warp outside the active set
+            if len(self._active) >= self.config.tl_active_warps:
+                return None  # wait for an active warp to become ready
+            self._active.add(id(warp))
+        heapq.heappop(self._ready)
+        return warp
+
+    def try_issue(self, now: int, engine: "Engine") -> bool:
+        """Issue at most one instruction; return True if one issued."""
+        if self.port_free_at > now:
+            return False
+        if self._current is None and not self._ready and not self._stalled:
+            return False  # nothing resident: skip the scheduler entirely
+        while True:
+            warp = self._pick_warp(now)
+            if warp is None:
+                return False
+            if warp.blocked_on_loads(now):
+                # the next instruction uses in-flight load data: park the
+                # warp until its slowest outstanding load returns
+                if self._current is warp:
+                    self._current = None
+                warp.ready_at = warp.outstanding
+                self._park(warp, warp.outstanding, now)
+                continue
+            break
+        instr = warp.instrs[warp.pc]
+        warp.pc += 1
+        op = instr.op
+        if op == Op.COMPUTE:
+            duration = instr.cycles
+            warp.ready_at = now + duration
+            self.port_free_at = now + duration
+            self.issued_instructions += duration
+            self.issue_cycles += duration
+        elif op == Op.LOAD:
+            result = engine.memory.access_warp(self.smx_id, instr.addresses, now)
+            # loads pipeline: the warp keeps issuing, stalling only at a use
+            warp.outstanding = max(warp.outstanding, result.complete_at)
+            warp.ready_at = now + 1
+            self.port_free_at = now + 1
+            self.issued_instructions += 1
+            self.issue_cycles += 1
+        elif op == Op.STORE:
+            # write-through, fire-and-forget: the warp does not stall
+            engine.memory.access_warp(self.smx_id, instr.addresses, now, is_write=True)
+            warp.ready_at = now + 1
+            self.port_free_at = now + 1
+            self.issued_instructions += 1
+            self.issue_cycles += 1
+        else:  # Op.LAUNCH
+            engine.handle_launch(warp.tb, instr.launch, now)
+            # parent-side API overhead is folded into the launch latency;
+            # the launching warp itself continues after a pipeline bubble
+            warp.ready_at = now + 1
+            self.port_free_at = now + 1
+            self.issued_instructions += 1
+            self.issue_cycles += 1
+
+        if warp.done:
+            self._current = None
+            self._active.discard(id(warp))
+            tb = warp.tb
+            tb.active_warps -= 1
+            if tb.active_warps == 0:
+                # in-flight loads must land before the TB's slots free
+                engine.schedule_retire(tb, max(warp.ready_at, warp.outstanding))
+        else:
+            # Invariant: the greedy (current) warp is never in the heaps.
+            gto = self._policy == "gto"
+            if gto and warp.ready_at <= now + 1:
+                self._current = warp
+            else:
+                self._current = None
+                if not gto:
+                    # LRR/TL: reissue age so warps rotate round-robin
+                    warp.age = next(self._age_counter)
+                if warp.ready_at <= now + 1:
+                    self._push_ready(warp)
+                else:
+                    self._park(warp, warp.ready_at, now)
+        return True
+
+    def next_event_time(self, now: int) -> float:
+        """Earliest future cycle at which this SMX could issue again."""
+        candidates = []
+        if self._current is not None and not self._current.done:
+            candidates.append(max(self.port_free_at, self._current.ready_at, now + 1))
+        if self._ready:
+            candidates.append(max(float(self.port_free_at), now + 1))
+        if self._stalled:
+            candidates.append(max(self.port_free_at, self._stalled[0][0], now + 1))
+        return min(candidates) if candidates else _INFINITY
+
+    @property
+    def idle(self) -> bool:
+        return not self.resident_tbs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SMX({self.smx_id}, tbs={len(self.resident_tbs)}, "
+            f"free_threads={self.free_threads})"
+        )

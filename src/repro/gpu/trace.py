@@ -1,0 +1,144 @@
+"""Warp instruction traces.
+
+The simulator is trace-driven: a thread block's behaviour is a list of
+per-warp instruction streams produced ahead of time by a workload
+generator. Four instruction kinds exist:
+
+``COMPUTE``
+    Occupies the warp (and the SMX issue port) for ``cycles`` cycles and
+    counts ``cycles`` executed instructions toward IPC. Used to abstract
+    arithmetic between memory operations.
+``LOAD``
+    A warp-wide global load; ``addresses`` holds one byte address per
+    active lane. The warp stalls until the slowest coalesced transaction
+    returns.
+``STORE``
+    A warp-wide global store; write-through, the warp does not stall
+    (fire-and-forget, as on real hardware).
+``LAUNCH``
+    A device-side launch (CDP kernel or DTBL thread-block group). The
+    attached :class:`LaunchSpec` describes the child thread blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+
+class Op(IntEnum):
+    COMPUTE = 0
+    LOAD = 1
+    STORE = 2
+    LAUNCH = 3
+
+
+@dataclass(slots=True)
+class Instr:
+    """One trace instruction. Construct via the helpers below."""
+
+    op: int
+    cycles: int = 1
+    addresses: Optional[tuple[int, ...]] = None
+    launch: Optional["LaunchSpec"] = None
+
+
+def compute(cycles: int) -> Instr:
+    """``cycles`` back-to-back arithmetic instructions."""
+    if cycles < 1:
+        raise ValueError("compute() needs at least one cycle")
+    return Instr(Op.COMPUTE, cycles=cycles)
+
+
+def load(addresses: tuple[int, ...] | list[int]) -> Instr:
+    """A warp-wide global load of one byte address per lane."""
+    return Instr(Op.LOAD, addresses=tuple(addresses))
+
+
+def store(addresses: tuple[int, ...] | list[int]) -> Instr:
+    """A warp-wide global store of one byte address per lane."""
+    return Instr(Op.STORE, addresses=tuple(addresses))
+
+
+def launch(spec: "LaunchSpec") -> Instr:
+    """A device-side child launch."""
+    return Instr(Op.LAUNCH, launch=spec)
+
+
+@dataclass(slots=True)
+class TBBody:
+    """The static behaviour of one thread block: one trace per warp."""
+
+    warps: list[list[Instr]]
+
+    def __post_init__(self) -> None:
+        if not self.warps:
+            raise ValueError("a thread block needs at least one warp")
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    def instruction_count(self) -> int:
+        """Weighted dynamic instruction count of this body alone."""
+        return sum(
+            instr.cycles if instr.op == Op.COMPUTE else 1
+            for warp in self.warps
+            for instr in warp
+        )
+
+    def launches(self) -> list["LaunchSpec"]:
+        """All launch specs embedded in this body, in trace order."""
+        return [
+            instr.launch
+            for warp in self.warps
+            for instr in warp
+            if instr.op == Op.LAUNCH and instr.launch is not None
+        ]
+
+    def touched_lines(self, line_bytes: int = 128) -> set[int]:
+        """Cache lines referenced by this body's loads and stores."""
+        lines: set[int] = set()
+        for warp in self.warps:
+            for instr in warp:
+                if instr.addresses:
+                    lines.update(a // line_bytes for a in instr.addresses if a >= 0)
+        return lines
+
+
+@dataclass(slots=True)
+class LaunchSpec:
+    """A device-side launch: the child thread blocks and their shape.
+
+    ``threads_per_tb``/``regs_per_thread``/``smem_per_tb`` describe the
+    resource requirements of every child TB in the group. For DTBL these
+    must match the parent kernel's configuration for the group to coalesce
+    onto it (our workloads always launch matching configurations, as the
+    DTBL paper's benchmarks do).
+    """
+
+    bodies: list[TBBody]
+    threads_per_tb: int = 256
+    regs_per_thread: int = 24
+    smem_per_tb: int = 0
+    name: str = "child"
+
+    def __post_init__(self) -> None:
+        if not self.bodies:
+            raise ValueError("a launch needs at least one child thread block")
+        if self.threads_per_tb < 1:
+            raise ValueError("threads_per_tb must be positive")
+
+
+def walk_bodies(bodies: list[TBBody]) -> list[TBBody]:
+    """All bodies reachable from ``bodies`` through nested launches
+    (including the roots), in depth-first order."""
+    out: list[TBBody] = []
+    stack = list(reversed(bodies))
+    while stack:
+        body = stack.pop()
+        out.append(body)
+        for spec in reversed(body.launches()):
+            stack.extend(reversed(spec.bodies))
+    return out

@@ -1,0 +1,36 @@
+"""Experiment harness: benchmark registry, grid runner, and reports."""
+
+from repro.harness.registry import (
+    BENCHMARKS,
+    benchmark_names,
+    experiment_config,
+    iter_benchmarks,
+    load_benchmark,
+)
+from repro.harness.export import grid_records, grid_to_csv, grid_to_json, write_grid
+from repro.harness.runner import (
+    DEFAULT_MODELS,
+    GridResult,
+    SeedSweepResult,
+    run_grid,
+    run_seed_sweep,
+    simulate,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "DEFAULT_MODELS",
+    "GridResult",
+    "SeedSweepResult",
+    "benchmark_names",
+    "grid_records",
+    "grid_to_csv",
+    "grid_to_json",
+    "experiment_config",
+    "iter_benchmarks",
+    "load_benchmark",
+    "run_grid",
+    "run_seed_sweep",
+    "simulate",
+    "write_grid",
+]

@@ -1,0 +1,84 @@
+"""Export measured results to JSON / CSV for external analysis.
+
+`GridResult` objects hold the full benchmark x scheduler x model matrix;
+these helpers flatten them into portable records, one per simulation,
+with every scalar metric of `SimStats` included.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.gpu.stats import SimStats
+from repro.harness.runner import GridResult
+
+#: scalar metrics exported for every simulation
+METRICS: Sequence[str] = (
+    "cycles",
+    "instructions",
+    "ipc",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "l1_accesses",
+    "l2_accesses",
+    "dram_accesses",
+    "dram_mean_latency",
+    "tbs_dispatched",
+    "child_tbs_dispatched",
+    "launches",
+    "child_mean_wait",
+    "child_same_smx_fraction",
+    "child_same_cluster_fraction",
+    "smx_utilization",
+    "smx_load_imbalance",
+    "scheduler_overflow_events",
+    "kdu_high_water",
+)
+
+
+def stats_record(stats: SimStats) -> dict:
+    """One flat dict of every exported metric."""
+    return {metric: getattr(stats, metric) for metric in METRICS}
+
+
+def grid_records(grid: GridResult, baseline: str = "rr") -> list[dict]:
+    """Flatten a grid into one record per (benchmark, scheduler, model)."""
+    records = []
+    for (benchmark, scheduler, model), stats in sorted(grid.stats.items()):
+        record = {"benchmark": benchmark, "scheduler": scheduler, "model": model}
+        record.update(stats_record(stats))
+        if baseline in grid.schedulers:
+            record["normalized_ipc"] = grid.normalized_ipc(benchmark, scheduler, model, baseline)
+        records.append(record)
+    return records
+
+
+def grid_to_json(grid: GridResult, baseline: str = "rr", *, indent: int = 2) -> str:
+    return json.dumps(grid_records(grid, baseline), indent=indent)
+
+
+def grid_to_csv(grid: GridResult, baseline: str = "rr") -> str:
+    records = grid_records(grid, baseline)
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def write_grid(grid: GridResult, path: str, baseline: str = "rr") -> None:
+    """Write a grid to ``path``; the extension picks the format
+    (``.json`` or ``.csv``)."""
+    if path.endswith(".json"):
+        payload = grid_to_json(grid, baseline)
+    elif path.endswith(".csv"):
+        payload = grid_to_csv(grid, baseline)
+    else:
+        raise ValueError(f"unsupported export extension in {path!r} (use .json or .csv)")
+    with open(path, "w") as f:
+        f.write(payload)

@@ -1,0 +1,73 @@
+"""Benchmark registry and the experiment machine configuration.
+
+``BENCHMARKS`` lists every application+input pair of Table II.
+
+``experiment_config`` returns the machine used by the evaluation harness:
+the paper's 13-SMX Kepler with capacities and caches scaled down ~2-4x so
+that Python-feasible input sizes exercise the same contention regimes
+(parent kernels larger than GPU residency; working sets a small multiple
+of L2) that the paper's full-size inputs created on the full-size machine.
+DESIGN.md §2 and EXPERIMENTS.md document this scaling.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.workloads import APPLICATIONS, Workload, make_workload
+
+#: (application, input) pairs, in the paper's Table II order
+BENCHMARKS: list[tuple[str, str]] = [
+    ("amr", "combustion"),
+    ("bht", "random-points"),
+    ("bfs", "citation"),
+    ("bfs", "graph500"),
+    ("bfs", "cage15"),
+    ("clr", "citation"),
+    ("clr", "graph500"),
+    ("clr", "cage15"),
+    ("regx", "darpa"),
+    ("regx", "random"),
+    ("pre", "movielens"),
+    ("join", "uniform"),
+    ("join", "gaussian"),
+    ("sssp", "citation"),
+    ("sssp", "graph500"),
+    ("sssp", "cage15"),
+]
+
+
+def benchmark_names() -> list[str]:
+    """Full names ('bfs-citation', …) in registry order."""
+    return [make_workload(app, inp, scale="tiny").full_name for app, inp in BENCHMARKS]
+
+
+def load_benchmark(full_name: str, scale: str = "small", seed: int = 7) -> Workload:
+    """Construct a benchmark from its full name (e.g. 'bfs-citation')."""
+    for app, inp in BENCHMARKS:
+        w_cls = APPLICATIONS[app]
+        candidate = f"{app}-{inp}" if len(w_cls.inputs) > 1 else app
+        if candidate == full_name:
+            return make_workload(app, inp, scale=scale, seed=seed)
+    raise ValueError(f"unknown benchmark {full_name!r}")
+
+
+def iter_benchmarks(scale: str = "small", seed: int = 7):
+    """Yield every Table II workload instance."""
+    for app, inp in BENCHMARKS:
+        yield make_workload(app, inp, scale=scale, seed=seed)
+
+
+def experiment_config(**overrides) -> GPUConfig:
+    """The scaled 13-SMX machine used for all paper experiments."""
+    config = GPUConfig(
+        num_smx=13,
+        max_threads_per_smx=1024,
+        max_tbs_per_smx=16,
+        max_registers_per_smx=32768,
+        shared_mem_per_smx=48 * 1024,
+        l1=CacheConfig(size_bytes=16 * 1024, associativity=4),
+        l2=CacheConfig(size_bytes=384 * 1024, associativity=16),
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config

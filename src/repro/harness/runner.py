@@ -1,0 +1,155 @@
+"""Experiment runner: benchmark x scheduler x launch-model grids.
+
+``simulate`` runs one configuration; ``run_grid`` sweeps the full matrix
+the paper's Figures 7-9 are built from and returns a :class:`GridResult`
+that the report module renders. Kernel specs are built once per workload
+and shared across runs (the engine never mutates trace bodies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core import SCHEDULER_ORDER, make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.config import GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.stats import SimStats
+from repro.harness.registry import experiment_config, iter_benchmarks
+from repro.workloads import Workload
+
+DEFAULT_MODELS = ("cdp", "dtbl")
+
+
+def simulate(
+    spec: KernelSpec,
+    scheduler: str = "rr",
+    model: str = "dtbl",
+    config: Optional[GPUConfig] = None,
+    *,
+    max_cycles: Optional[int] = 500_000_000,
+) -> SimStats:
+    """Run one kernel under one scheduler and launch model."""
+    config = config or experiment_config()
+    engine = Engine(
+        config,
+        make_scheduler(scheduler),
+        make_model(model),
+        [spec],
+        max_cycles=max_cycles,
+    )
+    return engine.run()
+
+
+@dataclass
+class GridResult:
+    """Results of a benchmark x scheduler x model sweep."""
+
+    schedulers: list[str]
+    models: list[str]
+    benchmarks: list[str] = field(default_factory=list)
+    #: stats[(benchmark, scheduler, model)] -> SimStats
+    stats: dict[tuple[str, str, str], SimStats] = field(default_factory=dict)
+
+    def get(self, benchmark: str, scheduler: str, model: str) -> SimStats:
+        return self.stats[(benchmark, scheduler, model)]
+
+    def metric(self, benchmark: str, scheduler: str, model: str, name: str) -> float:
+        return getattr(self.get(benchmark, scheduler, model), name)
+
+    def normalized_ipc(self, benchmark: str, scheduler: str, model: str, baseline: str = "rr") -> float:
+        """IPC normalized to the baseline scheduler under the same model."""
+        base = self.get(benchmark, baseline, model).ipc
+        return self.get(benchmark, scheduler, model).ipc / base if base else 0.0
+
+    def mean_metric(self, scheduler: str, model: str, name: str) -> float:
+        values = [self.metric(b, scheduler, model, name) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_normalized_ipc(self, scheduler: str, model: str, baseline: str = "rr") -> float:
+        values = [self.normalized_ipc(b, scheduler, model, baseline) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """Normalized-IPC statistics over several workload seeds."""
+
+    scheduler: str
+    model: str
+    speedups: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups) if self.speedups else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.speedups) < 2:
+            return 0.0
+        mu = self.mean
+        return (sum((x - mu) ** 2 for x in self.speedups) / (len(self.speedups) - 1)) ** 0.5
+
+    @property
+    def min(self) -> float:
+        return min(self.speedups) if self.speedups else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.speedups) if self.speedups else 0.0
+
+
+def run_seed_sweep(
+    benchmark: str,
+    scheduler: str,
+    *,
+    model: str = "dtbl",
+    seeds: Sequence[int] = (1, 2, 3, 5, 7),
+    scale: str = "small",
+    config: Optional[GPUConfig] = None,
+    baseline: str = "rr",
+) -> SeedSweepResult:
+    """Measure a scheduler's speedup over the baseline across input seeds.
+
+    Workload generation is seeded; a result that only holds for one seed
+    is noise. This regenerates the input for every seed and reports the
+    distribution of normalized IPC.
+    """
+    from repro.harness.registry import load_benchmark
+
+    config = config or experiment_config()
+    speedups = []
+    for seed in seeds:
+        spec = load_benchmark(benchmark, scale=scale, seed=seed).kernel()
+        base = simulate(spec, baseline, model, config)
+        subject = simulate(spec, scheduler, model, config)
+        speedups.append(subject.ipc / base.ipc if base.ipc else 0.0)
+    return SeedSweepResult(scheduler=scheduler, model=model, speedups=tuple(speedups))
+
+
+def run_grid(
+    workloads: Optional[Iterable[Workload]] = None,
+    schedulers: Sequence[str] = tuple(SCHEDULER_ORDER),
+    models: Sequence[str] = DEFAULT_MODELS,
+    config: Optional[GPUConfig] = None,
+    *,
+    scale: str = "small",
+    verbose: bool = False,
+) -> GridResult:
+    """Run the full evaluation grid (Figures 7, 8 and 9)."""
+    config = config or experiment_config()
+    if workloads is None:
+        workloads = list(iter_benchmarks(scale=scale))
+    result = GridResult(schedulers=list(schedulers), models=list(models))
+    for workload in workloads:
+        spec = workload.kernel()
+        result.benchmarks.append(workload.full_name)
+        for model in models:
+            for scheduler in schedulers:
+                stats = simulate(spec, scheduler, model, config)
+                result.stats[(workload.full_name, scheduler, model)] = stats
+                if verbose:
+                    print(f"  {workload.full_name:16s} {scheduler:14s} {model}: {stats.summary()}")
+    return result

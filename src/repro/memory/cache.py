@@ -1,0 +1,118 @@
+"""Set-associative LRU cache model.
+
+The model is *state-accurate*, not port-accurate: each access updates tag
+state immediately and reports hit/miss; timing is layered on top by the
+memory hierarchy. This matches the fidelity the LaPerm evaluation needs —
+the schedulers differ in the *order and placement* of accesses, which is
+exactly what LRU state captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    # write-through stores that bypass allocation (counted separately so
+    # hit-rate metrics match the paper's read-centric definition)
+    write_accesses: int = 0
+    write_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.write_accesses += other.write_accesses
+        self.write_hits += other.write_hits
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Addresses are byte addresses; a line address is ``addr // line_bytes``.
+    Each set is an ordered dict from tag to None, maintained in LRU order
+    (first item = least recently used).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_bytes = config.line_bytes
+        # one dict per set; dicts preserve insertion order => LRU order
+        self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int) -> tuple[dict[int, None], int]:
+        return self._sets[line_addr % self.num_sets], line_addr
+
+    def access(self, line_addr: int, *, is_write: bool = False, allocate: bool = True) -> bool:
+        """Access one cache line; return True on hit.
+
+        ``allocate=False`` models no-allocate-on-miss (Kepler L1 stores).
+        Writes never cause an allocation when ``allocate`` is False but do
+        refresh LRU state on a hit.
+        """
+        cache_set, tag = self._locate(line_addr)
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.write_accesses += 1
+        if tag in cache_set:
+            # refresh LRU position
+            del cache_set[tag]
+            cache_set[tag] = None
+            self.stats.hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+            return True
+        self.stats.misses += 1
+        if allocate:
+            if len(cache_set) >= self.associativity:
+                # evict the LRU entry (first insertion-ordered key)
+                lru = next(iter(cache_set))
+                del cache_set[lru]
+                self.stats.evictions += 1
+            cache_set[tag] = None
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        cache_set, tag = self._locate(line_addr)
+        return tag in cache_set
+
+    def invalidate_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> set[int]:
+        """All resident line addresses (for invariants/tests)."""
+        lines: set[int] = set()
+        for idx, cache_set in enumerate(self._sets):
+            lines.update(cache_set.keys())
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.config.size_bytes}B, "
+            f"{self.num_sets}x{self.associativity}, hit_rate={self.stats.hit_rate:.3f})"
+        )

@@ -1,0 +1,173 @@
+"""The GPU memory hierarchy: per-SMX L1s, a shared L2, and DRAM.
+
+``access_warp`` is the single entry point used by the SMX pipeline: it
+coalesces a warp's lane addresses, walks each resulting transaction through
+L1 -> L2 -> DRAM, and returns the cycle at which the slowest transaction
+completes (the warp's wake-up time).
+
+Store policy follows Kepler: global stores are write-through and do not
+allocate in L1 (they invalidate nothing in this model because we do not
+track dirty data), but allocate in L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.coalescer import coalesce
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one warp memory instruction."""
+
+    complete_at: int
+    transactions: int
+    l1_hits: int
+    l2_hits: int
+    dram_accesses: int
+    mshr_merges: int = 0
+
+
+class MemoryHierarchy:
+    """N private L1 caches in front of a shared L2 and DRAM.
+
+    With ``config.mshr_merging`` (default), misses to a line whose fill is
+    already in flight join it — one DRAM transaction serves all merged
+    requesters, as hardware MSHRs do. The merged access still counts as an
+    L2 miss (the data was not resident) but consumes no DRAM bandwidth.
+    """
+
+    def __init__(self, config: GPUConfig) -> None:
+        from repro.memory.dram import DRAM  # local import avoids cycle in docs builds
+
+        self.config = config
+        # one L1 per *cluster* (= per SMX when smxs_per_cluster == 1);
+        # SMXs of the same cluster share it (paper Section IV-B, [25])
+        clusters = [Cache(config.l1, name=f"L1[cluster {c}]") for c in range(config.num_clusters)]
+        self.l1s = [clusters[config.cluster_of(i)] for i in range(config.num_smx)]
+        self._cluster_l1s = clusters
+        # the L2 and its DRAM bandwidth split across address-interleaved
+        # partitions (line -> partition = line % P), each with its own
+        # memory channel; P=1 keeps the classic monolithic view
+        parts = config.l2_partitions
+        part_config = CacheConfig(
+            size_bytes=config.l2.size_bytes // parts,
+            line_bytes=config.l2.line_bytes,
+            associativity=config.l2.associativity,
+            hit_latency=config.l2.hit_latency,
+        )
+        self.l2_parts = [Cache(part_config, name=f"L2[{p}]") for p in range(parts)]
+        self.drams = [
+            DRAM(config.dram_latency, config.dram_lines_per_cycle / parts)
+            for _ in range(parts)
+        ]
+        # aliases for the common monolithic configuration
+        self.l2 = self.l2_parts[0]
+        self.dram = self.drams[0]
+        # in-flight L2 fills: line -> completion time (MSHR table)
+        self._inflight: dict[int, int] = {}
+        self.mshr_merges = 0
+
+    def access_warp(
+        self,
+        smx_id: int,
+        addresses: list[int],
+        now: int,
+        *,
+        is_write: bool = False,
+        bypass_l1: bool = False,
+    ) -> AccessResult:
+        """Issue one warp memory instruction; return timing and hit counts."""
+        lines = coalesce(addresses, self.config.line_bytes)
+        l1 = self.l1s[smx_id]
+        complete_at = now
+        l1_hits = l2_hits = dram_accesses = merges = 0
+        merging = self.config.mshr_merging
+        parts = self.config.l2_partitions
+        for line in lines:
+            if not bypass_l1:
+                # stores are write-through / no-allocate at L1
+                hit = l1.access(line, is_write=is_write, allocate=not is_write)
+                if hit and not is_write:
+                    fill = self._inflight.get(line, 0) if merging else 0
+                    if fill > now:
+                        # the line's fill has not landed yet: wait for it
+                        merges += 1
+                        self.mshr_merges += 1
+                        complete_at = max(complete_at, fill)
+                    else:
+                        l1_hits += 1
+                        complete_at = max(complete_at, now + self.config.l1_hit_latency)
+                    continue
+                if hit and is_write:
+                    l1_hits += 1
+                    # write-through still goes to L2 below
+            # L2 allocates on both loads and stores (tag at miss time)
+            part = line % parts
+            if self.l2_parts[part].access(line, is_write=is_write, allocate=True):
+                fill = self._inflight.get(line, 0) if merging else 0
+                if fill > now:
+                    # the tag is resident but the fill is still in flight:
+                    # this request merges into the outstanding miss (MSHR)
+                    # and sees the data-arrival time, not the hit latency
+                    merges += 1
+                    self.mshr_merges += 1
+                    complete_at = max(complete_at, fill)
+                else:
+                    l2_hits += 1
+                    complete_at = max(complete_at, now + self.config.l2_hit_latency)
+            else:
+                dram_accesses += 1
+                done = self.drams[part].service(now)
+                if merging and not is_write:
+                    # stores write through without fetching: only loads put
+                    # a fill in flight that later requests can merge into
+                    self._inflight[line] = done
+                    # opportunistic cleanup keeps the table small; if every
+                    # entry is genuinely in flight, forget the oldest fills
+                    # (only merge *timing* is lost, never correctness)
+                    if len(self._inflight) > 4096:
+                        live = {ln: t for ln, t in self._inflight.items() if t > now}
+                        self._inflight = live if len(live) <= 4096 else {}
+                complete_at = max(complete_at, done)
+        return AccessResult(
+            complete_at=complete_at,
+            transactions=len(lines),
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            dram_accesses=dram_accesses,
+            mshr_merges=merges,
+        )
+
+    # ----- statistics ----------------------------------------------------
+    def l1_stats_merged(self) -> CacheStats:
+        merged = CacheStats()
+        for l1 in self._cluster_l1s:
+            merged.merge(l1.stats)
+        return merged
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_stats_merged().hit_rate
+
+    def l2_stats_merged(self) -> CacheStats:
+        merged = CacheStats()
+        for part in self.l2_parts:
+            merged.merge(part.stats)
+        return merged
+
+    def dram_transactions(self) -> int:
+        return sum(d.stats.transactions for d in self.drams)
+
+    def dram_mean_latency(self) -> float:
+        total = self.dram_transactions()
+        if not total:
+            return 0.0
+        return sum(d.stats.total_latency for d in self.drams) / total
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_stats_merged().hit_rate

@@ -1,0 +1,54 @@
+"""Shared fixtures: small machines and cached tiny workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.workloads import APPLICATIONS, make_workload
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """A 4-SMX machine with small caches — fast and easy to saturate."""
+    return GPUConfig(
+        num_smx=4,
+        max_threads_per_smx=256,
+        max_tbs_per_smx=4,
+        max_registers_per_smx=16384,
+        shared_mem_per_smx=16 * 1024,
+        l1=CacheConfig(size_bytes=4 * 1024, associativity=4),
+        l2=CacheConfig(size_bytes=32 * 1024, associativity=8),
+        dtbl_launch_latency=50,
+        cdp_launch_latency=400,
+    )
+
+
+#: (application, input) pairs covering every application once
+TINY_PAIRS = [
+    ("amr", None),
+    ("bht", None),
+    ("bfs", "citation"),
+    ("clr", "graph500"),
+    ("regx", "darpa"),
+    ("pre", None),
+    ("join", "gaussian"),
+    ("sssp", "cage15"),
+]
+
+_tiny_cache: dict[tuple[str, str | None], object] = {}
+
+
+def tiny_workload(app: str, inp: str | None = None):
+    """Session-cached tiny workload instances (builds are not free)."""
+    key = (app, inp)
+    if key not in _tiny_cache:
+        w = make_workload(app, inp, scale="tiny")
+        w.kernel()
+        _tiny_cache[key] = w
+    return _tiny_cache[key]
+
+
+@pytest.fixture(params=TINY_PAIRS, ids=lambda p: f"{p[0]}-{p[1] or 'default'}")
+def any_tiny_workload(request):
+    return tiny_workload(*request.param)

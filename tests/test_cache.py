@@ -1,0 +1,153 @@
+"""LRU cache model: hits, evictions, statistics, and an LRU reference
+model checked with hypothesis."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.config import CacheConfig
+from repro.memory.cache import Cache, CacheStats
+
+
+def make_cache(size=1024, assoc=2, line=128):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, associativity=assoc))
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        c = make_cache()
+        assert c.access(0) is False
+        assert c.stats.misses == 1
+
+    def test_second_access_hits(self):
+        c = make_cache()
+        c.access(0)
+        assert c.access(0) is True
+        assert c.stats.hits == 1
+
+    def test_distinct_lines_do_not_alias_within_capacity(self):
+        c = make_cache(size=1024, assoc=2)  # 8 lines, 4 sets
+        for line in range(8):
+            c.access(line)
+        for line in range(8):
+            assert c.probe(line), f"line {line} should be resident"
+
+    def test_eviction_is_lru_within_set(self):
+        c = make_cache(size=512, assoc=2)  # 4 lines, 2 sets
+        # lines 0, 2, 4 all map to set 0
+        c.access(0)
+        c.access(2)
+        c.access(0)  # refresh 0: LRU is now 2
+        c.access(4)  # evicts 2
+        assert c.probe(0)
+        assert not c.probe(2)
+        assert c.probe(4)
+        assert c.stats.evictions == 1
+
+    def test_probe_does_not_touch_state_or_stats(self):
+        c = make_cache()
+        c.access(0)
+        before = c.stats.accesses
+        c.probe(0)
+        c.probe(99)
+        assert c.stats.accesses == before
+
+    def test_no_allocate_miss_leaves_cache_empty(self):
+        c = make_cache()
+        assert c.access(7, is_write=True, allocate=False) is False
+        assert not c.probe(7)
+        assert c.occupancy == 0
+
+    def test_write_hit_refreshes_lru(self):
+        c = make_cache(size=512, assoc=2)
+        c.access(0)
+        c.access(2)
+        c.access(0, is_write=True, allocate=False)  # hit refreshes 0
+        c.access(4)  # evicts 2, not 0
+        assert c.probe(0)
+        assert not c.probe(2)
+
+    def test_invalidate_all(self):
+        c = make_cache()
+        for line in range(4):
+            c.access(line)
+        c.invalidate_all()
+        assert c.occupancy == 0
+
+    def test_resident_lines(self):
+        c = make_cache()
+        c.access(3)
+        c.access(11)
+        assert c.resident_lines() == {3, 11}
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_write_counters(self):
+        c = make_cache()
+        c.access(0, is_write=True, allocate=False)
+        c.access(0)
+        c.access(0, is_write=True, allocate=False)
+        assert c.stats.write_accesses == 2
+        assert c.stats.write_hits == 1
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, hits=4, misses=6, evictions=1)
+        b = CacheStats(accesses=5, hits=5, misses=0)
+        a.merge(b)
+        assert a.accesses == 15
+        assert a.hits == 9
+        assert a.hit_rate == pytest.approx(9 / 15)
+
+
+class _ReferenceLRU:
+    """Textbook set-associative LRU used as the oracle."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+        self.assoc = assoc
+
+    def access(self, line: int) -> bool:
+        s = self.sets[line % len(self.sets)]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = None
+        return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_matches_reference_lru(lines, assoc):
+    num_sets = 4
+    cache = Cache(CacheConfig(size_bytes=num_sets * assoc * 128, associativity=assoc))
+    ref = _ReferenceLRU(num_sets, assoc)
+    for line in lines:
+        assert cache.access(line) == ref.access(line)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(lines):
+    cache = make_cache(size=512, assoc=2)
+    for line in lines:
+        cache.access(line)
+        assert cache.occupancy <= 4
+    assert cache.stats.accesses == len(lines)
+    assert cache.stats.hits + cache.stats.misses == len(lines)

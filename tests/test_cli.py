@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "bfs-citation"])
+        assert args.scheduler == "adaptive-bind"
+        assert args.model == "dtbl"
+        assert args.scale == "small"
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    def test_grid_model_subset(self):
+        args = build_parser().parse_args(["grid", "--models", "dtbl"])
+        assert args.models == ["dtbl"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs-citation" in out
+        assert "adaptive-bind" in out
+        assert "dtbl" in out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "Kepler K20c" in out
+        assert "Scaled machine" in out
+
+    def test_run_tiny(self, capsys):
+        assert main(["run", "bfs-citation", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc=" in out
+
+    def test_run_with_throttle_modifier(self, capsys):
+        assert main(["run", "amr", "--scale", "tiny", "-s", "rr+throttle"]) == 0
+        assert "ipc=" in capsys.readouterr().out
+
+    def test_compare_tiny(self, capsys):
+        assert main(["compare", "join-gaussian", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for scheduler in ("rr", "tb-pri", "smx-bind", "adaptive-bind"):
+            assert scheduler in out
+
+    def test_grid_subset_tiny(self, capsys):
+        code = main(
+            ["grid", "--scale", "tiny", "--benchmarks", "amr", "--models", "dtbl"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 9" in out
+
+    def test_footprint_tiny(self, capsys):
+        assert main(["footprint", "--scale", "tiny"]) == 0
+        assert "parent-child" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_run_timeline(self, capsys):
+        assert main(["run", "bfs-citation", "--scale", "tiny", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "SMX0" in out
+
+    def test_validate_tiny(self, capsys):
+        code = main(["validate", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert "SMX-Bind co-locates every child" in out
+        assert code in (0, 1)  # tiny scale: shapes may be degenerate
+
+    def test_validate_parser(self):
+        args = build_parser().parse_args(["validate", "--scale", "small"])
+        assert args.scale == "small"
+
+
+class TestTraceCommand:
+    def test_save_and_load_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "t.json.gz")
+        assert main(["trace", "amr", "--scale", "tiny", "-o", path]) == 0
+        assert main(["trace", "--load", path]) == 0
+        out = capsys.readouterr().out
+        assert "ipc=" in out

@@ -1,0 +1,110 @@
+"""Concurrent kernel execution across multiple host kernels (Section II-B)."""
+
+import pytest
+
+from repro.core import SCHEDULER_ORDER, make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch
+from tests.conftest import tiny_workload
+
+
+def machine(**overrides):
+    base = dict(
+        num_smx=4,
+        max_threads_per_smx=128,
+        max_tbs_per_smx=4,
+        max_registers_per_smx=8192,
+        shared_mem_per_smx=4096,
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+        dtbl_launch_latency=10,
+    )
+    base.update(overrides)
+    return GPUConfig(**base)
+
+
+def plain_kernel(name, n_tbs, cycles=100):
+    return KernelSpec(
+        name=name,
+        bodies=[TBBody(warps=[[compute(cycles)]]) for _ in range(n_tbs)],
+        resources=ResourceReq(threads=32, regs_per_thread=8),
+    )
+
+
+def launching_kernel(name, n_tbs):
+    child = LaunchSpec(
+        bodies=[TBBody(warps=[[compute(50)]])], threads_per_tb=32, regs_per_thread=8
+    )
+    return KernelSpec(
+        name=name,
+        bodies=[TBBody(warps=[[compute(10), launch(child), compute(50)]]) for _ in range(n_tbs)],
+        resources=ResourceReq(threads=32, regs_per_thread=8),
+    )
+
+
+def run(specs, scheduler="rr", model="dtbl", **overrides):
+    engine = Engine(machine(**overrides), make_scheduler(scheduler), make_model(model), specs)
+    order = []
+    original = engine.record_dispatch
+
+    def spy(tb, now):
+        original(tb, now)
+        order.append(tb)
+
+    engine.record_dispatch = spy
+    stats = engine.run()
+    return engine, stats, order
+
+
+class TestConcurrency:
+    def test_second_kernel_fills_spare_capacity(self):
+        """A small first kernel leaves SMXs free; the second kernel's TBs
+        run concurrently rather than waiting for it to finish."""
+        _, stats, order = run([plain_kernel("a", 2, cycles=500), plain_kernel("b", 8)])
+        a_last_retire = max(tb.retired_at for tb in order if tb.kernel.name == "a")
+        b_first_dispatch = min(tb.dispatched_at for tb in order if tb.kernel.name == "b")
+        assert b_first_dispatch < a_last_retire
+
+    def test_fcfs_order_between_kernels(self):
+        """RR dispatches the first kernel's TBs before the second's."""
+        _, _, order = run([plain_kernel("a", 6), plain_kernel("b", 6)])
+        names = [tb.kernel.name for tb in order]
+        assert names.index("b") > names.index("a")
+        last_a = max(i for i, n in enumerate(names) if n == "a")
+        first_b = min(i for i, n in enumerate(names) if n == "b")
+        assert first_b > last_a or first_b == last_a + 1
+
+    @pytest.mark.parametrize("scheduler", SCHEDULER_ORDER)
+    def test_all_schedulers_drain_multiple_kernels(self, scheduler):
+        specs = [launching_kernel("k1", 5), launching_kernel("k2", 5), plain_kernel("k3", 4)]
+        engine, stats, order = run(specs, scheduler=scheduler)
+        assert stats.tbs_dispatched == 5 + 5 + 5 + 5 + 4
+        assert engine.kmu.drained and len(engine.kdu) == 0
+
+    def test_children_belong_to_their_own_kernel(self):
+        _, _, order = run([launching_kernel("k1", 3), launching_kernel("k2", 3)], scheduler="tb-pri")
+        for tb in order:
+            if tb.is_dynamic:
+                assert tb.kernel is tb.parent.kernel  # DTBL group coalescing
+
+    def test_priority_crosses_kernel_boundary(self):
+        """Under TB-Pri, kernel 1's children outrank kernel 2's parents."""
+        _, _, order = run(
+            [launching_kernel("k1", 8), plain_kernel("k2", 8, cycles=60)],
+            scheduler="tb-pri",
+            max_tbs_per_smx=2,
+        )
+        names = [("child" if tb.is_dynamic else tb.kernel.name) for tb in order]
+        first_child = names.index("child")
+        last_k2 = max(i for i, n in enumerate(names) if n == "k2")
+        assert first_child < last_k2
+
+    def test_real_workload_pair(self):
+        bfs = tiny_workload("bfs", "citation").kernel()
+        amr = tiny_workload("amr").kernel()
+        engine, stats, _ = run([bfs, amr], scheduler="adaptive-bind", max_threads_per_smx=512)
+        assert engine.kmu.drained
+        assert stats.tbs_dispatched > len(bfs.bodies) + len(amr.bodies)

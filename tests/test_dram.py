@@ -1,0 +1,58 @@
+"""DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+
+
+class TestDRAM:
+    def test_unloaded_latency(self):
+        d = DRAM(latency=400, lines_per_cycle=2.0)
+        assert d.service(100) == 500
+
+    def test_bandwidth_queueing(self):
+        d = DRAM(latency=400, lines_per_cycle=1.0)
+        # four back-to-back transactions at the same cycle occupy the bus
+        # for one cycle each
+        times = [d.service(0) for _ in range(4)]
+        assert times == [400, 401, 402, 403]
+
+    def test_fractional_bandwidth(self):
+        d = DRAM(latency=100, lines_per_cycle=2.0)
+        times = [d.service(0) for _ in range(4)]
+        assert times == [100, 100, 101, 101]
+
+    def test_bus_drains_over_idle_time(self):
+        d = DRAM(latency=100, lines_per_cycle=1.0)
+        d.service(0)
+        d.service(0)
+        # after the backlog clears, a late request sees base latency again
+        assert d.service(50) == 150
+
+    def test_monotone_completion(self):
+        d = DRAM(latency=100, lines_per_cycle=0.5)
+        last = 0
+        for t in range(0, 50, 5):
+            done = d.service(t)
+            assert done >= last
+            last = done
+
+    def test_stats(self):
+        d = DRAM(latency=100, lines_per_cycle=1.0)
+        d.service(0)
+        d.service(0)
+        assert d.stats.transactions == 2
+        assert d.stats.total_latency == 100 + 101
+        assert d.stats.mean_latency == pytest.approx(100.5)
+        assert d.stats.max_queue_delay == 1
+
+    def test_reset(self):
+        d = DRAM(latency=100, lines_per_cycle=1.0)
+        d.service(0)
+        d.reset()
+        assert d.stats.transactions == 0
+        assert d.service(0) == 100
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            DRAM(latency=100, lines_per_cycle=0)

@@ -1,0 +1,163 @@
+"""Dynamic-parallelism models: CDP kernel path, DTBL group coalescing,
+launch latency, priority clamping, KDU visibility."""
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.dynpar.launch import clamp_priority
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch
+
+
+def tiny_config(**overrides):
+    base = dict(
+        num_smx=2,
+        max_threads_per_smx=128,
+        max_tbs_per_smx=4,
+        max_registers_per_smx=8192,
+        shared_mem_per_smx=4096,
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+        cdp_launch_latency=100,
+        dtbl_launch_latency=10,
+    )
+    base.update(overrides)
+    return GPUConfig(**base)
+
+
+def nested_kernel(depth, threads=32):
+    """A chain: TB launches one child that launches one grandchild, ..."""
+
+    def spec_at(d):
+        trace = [compute(5)]
+        if d > 0:
+            trace.append(launch(spec_at(d - 1)))
+        trace.append(compute(5))
+        return LaunchSpec(
+            bodies=[TBBody(warps=[trace])], threads_per_tb=threads, regs_per_thread=16
+        )
+
+    top = spec_at(depth)
+    return KernelSpec(
+        name="nest",
+        bodies=top.bodies,
+        resources=ResourceReq(threads=threads, regs_per_thread=16),
+    )
+
+
+def run(model_name, kernel, **overrides):
+    config = tiny_config(**overrides)
+    engine = Engine(config, make_scheduler("tb-pri"), make_model(model_name), [kernel])
+    dispatched = []
+    original = engine.record_dispatch
+
+    def spy(tb, now):
+        original(tb, now)
+        dispatched.append(tb)
+
+    engine.record_dispatch = spy
+    stats = engine.run()
+    return engine, stats, dispatched
+
+
+class TestClampPriority:
+    def test_increments(self):
+        assert clamp_priority(0, max_levels=4) == 1
+
+    def test_clamps(self):
+        assert clamp_priority(4, max_levels=4) == 4
+        assert clamp_priority(9, max_levels=4) == 4
+
+
+class TestCDP:
+    def test_children_become_device_kernels(self):
+        engine, stats, dispatched = run("cdp", nested_kernel(1))
+        kernels = {tb.kernel.kernel_id for tb in dispatched}
+        assert len(kernels) == 2  # host kernel + one device kernel
+
+    def test_launch_latency_delays_child(self):
+        engine, _, dispatched = run("cdp", nested_kernel(1), cdp_launch_latency=500)
+        child = next(tb for tb in dispatched if tb.is_dynamic)
+        # the child cannot be created before the launch latency elapses
+        assert child.created_at >= 500
+
+    def test_nested_priorities_clamped(self):
+        _, _, dispatched = run("cdp", nested_kernel(6))
+        assert len(dispatched) == 7
+        assert max(tb.priority for tb in dispatched) == 4  # default L
+
+    def test_kdu_limit_throttles_children(self):
+        """With a 2-entry KDU, device kernels queue in the KMU."""
+        wide = KernelSpec(
+            name="wide",
+            bodies=[
+                TBBody(warps=[[launch(LaunchSpec(bodies=[TBBody(warps=[[compute(5)]])], threads_per_tb=32, regs_per_thread=16)), compute(400)]])
+                for _ in range(6)
+            ],
+            resources=ResourceReq(threads=32, regs_per_thread=16),
+        )
+        engine, stats, dispatched = run("cdp", wide, kdu_entries=2)
+        assert len(dispatched) == 12
+        assert engine.kdu.high_water <= 2
+        assert stats.kmu_pending_high_water > 0
+
+
+class TestDTBL:
+    def test_groups_coalesce_onto_parent_kernel(self):
+        engine, _, dispatched = run("dtbl", nested_kernel(1))
+        kernels = {tb.kernel.kernel_id for tb in dispatched}
+        assert len(kernels) == 1  # the group joined the host kernel
+
+    def test_no_kdu_entries_consumed_by_groups(self):
+        engine, _, _ = run("dtbl", nested_kernel(3))
+        assert engine.kdu.high_water == 1
+
+    def test_group_tbs_carry_parent_and_priority(self):
+        _, _, dispatched = run("dtbl", nested_kernel(1))
+        child = next(tb for tb in dispatched if tb.is_dynamic)
+        assert child.parent is dispatched[0]
+        assert child.priority == 1
+
+    def test_mismatched_config_falls_back_to_kernel(self):
+        mismatched = KernelSpec(
+            name="mis",
+            bodies=[
+                TBBody(
+                    warps=[[
+                        launch(
+                            LaunchSpec(
+                                bodies=[TBBody(warps=[[compute(5)]])],
+                                threads_per_tb=64,  # != parent's 32
+                                regs_per_thread=16,
+                            )
+                        ),
+                        compute(5),
+                    ]]
+                )
+            ],
+            resources=ResourceReq(threads=32, regs_per_thread=16),
+        )
+        engine, _, dispatched = run("dtbl", mismatched)
+        assert len(dispatched) == 2
+        kernels = {tb.kernel.kernel_id for tb in dispatched}
+        assert len(kernels) == 2  # fallback created a device kernel
+
+    def test_faster_launch_than_cdp(self):
+        _, _, d_dtbl = run("dtbl", nested_kernel(1))
+        _, _, d_cdp = run("cdp", nested_kernel(1))
+        child_dtbl = next(tb for tb in d_dtbl if tb.is_dynamic)
+        child_cdp = next(tb for tb in d_cdp if tb.is_dynamic)
+        assert child_dtbl.created_at < child_cdp.created_at
+
+
+class TestModelFactory:
+    def test_names(self):
+        assert make_model("cdp").name == "cdp"
+        assert make_model("dtbl").name == "dtbl"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_model("magic")

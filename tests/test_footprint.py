@@ -1,0 +1,115 @@
+"""Footprint analysis: exact ratios on hand-built launch trees, plus the
+qualitative Fig 2 structure on real workloads."""
+
+import pytest
+
+from repro.analysis import analyze_footprint
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load
+from tests.conftest import tiny_workload
+
+
+def lines(*line_ids):
+    """A load instruction touching exactly the given 128B lines."""
+    return load([line_id * 128 for line_id in line_ids])
+
+
+def body(*line_ids, launches=()):
+    warp = [lines(*line_ids)] if line_ids else [compute(1)]
+    warp += [launch(spec) for spec in launches]
+    return TBBody(warps=[warp])
+
+
+def spec_of(*bodies):
+    return LaunchSpec(bodies=list(bodies), threads_per_tb=32)
+
+
+def kernel_of(*bodies):
+    return KernelSpec(name="k", bodies=list(bodies), resources=ResourceReq(threads=32))
+
+
+class TestExactRatios:
+    def test_full_parent_child_overlap(self):
+        child = body(1, 2)
+        parent = body(1, 2, 3, launches=[spec_of(child)])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.parent_child == pytest.approx(1.0)
+
+    def test_half_parent_child_overlap(self):
+        child = body(1, 2, 3, 4)
+        parent = body(1, 2, launches=[spec_of(child)])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.parent_child == pytest.approx(0.5)
+
+    def test_zero_overlap(self):
+        child = body(10, 11)
+        parent = body(1, 2, launches=[spec_of(child)])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.parent_child == 0.0
+
+    def test_child_union_is_denominator(self):
+        c1, c2 = body(1, 2), body(3, 4)
+        parent = body(1, launches=[spec_of(c1, c2)])
+        # p ∩ (c1 ∪ c2) = {1}; |union| = 4
+        r = analyze_footprint(kernel_of(parent))
+        assert r.parent_child == pytest.approx(0.25)
+
+    def test_sibling_ratio(self):
+        c1 = body(1, 2)
+        c2 = body(2, 3)
+        parent = body(9, launches=[spec_of(c1, c2)])
+        # for c1: |{1,2} ∩ {2,3}| / |{2,3}| = 1/2; same for c2 -> mean 0.5
+        r = analyze_footprint(kernel_of(parent))
+        assert r.child_sibling == pytest.approx(0.5)
+
+    def test_single_child_has_no_sibling_ratio(self):
+        parent = body(1, launches=[spec_of(body(1))])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.child_sibling == 0.0
+
+    def test_siblings_across_two_launches_of_same_parent(self):
+        c1, c2 = body(5), body(5)
+        parent = body(5, launches=[spec_of(c1), spec_of(c2)])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.child_sibling == pytest.approx(1.0)
+
+    def test_nested_parents_counted(self):
+        grandchild = body(7)
+        child = body(7, 8, launches=[spec_of(grandchild)])
+        parent = body(8, launches=[spec_of(child)])
+        r = analyze_footprint(kernel_of(parent))
+        assert r.num_direct_parents == 2
+        assert r.num_children == 2
+
+    def test_parent_parent_disjoint(self):
+        r = analyze_footprint(kernel_of(body(1, launches=[spec_of(body(1))]),
+                                        body(2, launches=[spec_of(body(2))])))
+        assert r.parent_parent == 0.0
+
+    def test_parent_parent_identical(self):
+        r = analyze_footprint(kernel_of(body(1, 2, launches=[spec_of(body(1))]),
+                                        body(1, 2, launches=[spec_of(body(2))])))
+        assert r.parent_parent == pytest.approx(1.0)
+
+
+class TestOnWorkloads:
+    def test_ratios_bounded(self):
+        for app, inp in [("bfs", "citation"), ("amr", None), ("join", "gaussian")]:
+            r = analyze_footprint(tiny_workload(app, inp).kernel())
+            assert 0.0 <= r.parent_child <= 1.0
+            assert 0.0 <= r.child_sibling <= 1.0
+            assert 0.0 <= r.parent_parent <= 1.0
+
+    def test_parent_child_sharing_exists(self):
+        """The premise of the paper: parents and children share footprint."""
+        r = analyze_footprint(tiny_workload("bfs", "citation").kernel())
+        assert r.parent_child > 0.1
+
+    def test_amr_siblings_nearly_disjoint(self):
+        """Fig 2: amr children work on their own memory regions."""
+        r = analyze_footprint(tiny_workload("amr").kernel())
+        assert r.child_sibling < 0.25
+
+    def test_deterministic(self):
+        spec = tiny_workload("bfs", "citation").kernel()
+        assert analyze_footprint(spec) == analyze_footprint(spec)

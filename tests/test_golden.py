@@ -1,0 +1,82 @@
+"""Golden regression tests.
+
+The simulator is fully deterministic, so exact statistics for fixed
+(workload, scheduler, model) combinations are stable across runs and
+platforms. These goldens pin the current behaviour: any change to the
+scheduling, memory, or workload code that alters results shows up here
+first — intentionally-changed behaviour means regenerating the fixture:
+
+    python - <<'PY'
+    ... (see the header of tests/golden_stats.json's generator in git
+    history, or simply re-run the loop below with WRITE=True)
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.harness.registry import experiment_config
+from repro.workloads import make_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_stats.json"
+
+COMBOS = [
+    ("bfs", "citation", "rr", "dtbl"),
+    ("bfs", "citation", "adaptive-bind", "dtbl"),
+    ("bfs", "citation", "tb-pri", "cdp"),
+    ("amr", None, "smx-bind", "dtbl"),
+    ("join", "gaussian", "adaptive-bind", "cdp"),
+    ("regx", "darpa", "tb-pri", "dtbl"),
+]
+
+FIELDS = (
+    "cycles",
+    "instructions",
+    "l1_hits",
+    "l1_accesses",
+    "l2_hits",
+    "l2_accesses",
+    "dram_accesses",
+    "tbs_dispatched",
+    "child_tbs_dispatched",
+    "child_same_smx",
+    "launches",
+)
+
+
+def measure(app, inp, sched, model):
+    workload = make_workload(app, inp, scale="tiny", seed=7)
+    engine = Engine(
+        experiment_config(), make_scheduler(sched), make_model(model), [workload.kernel()]
+    )
+    stats = engine.run()
+    full_name = workload.full_name
+    return full_name, {field: getattr(stats, field) for field in FIELDS}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("app,inp,sched,model", COMBOS, ids=lambda v: str(v))
+def test_golden_stats(app, inp, sched, model, golden):
+    full_name, measured = measure(app, inp, sched, model)
+    key = f"{full_name}|{sched}|{model}"
+    assert key in golden, f"missing golden entry {key}; regenerate the fixture"
+    expected = golden[key]
+    mismatches = {
+        field: (expected[field], measured[field])
+        for field in FIELDS
+        if expected[field] != measured[field]
+    }
+    assert not mismatches, (
+        f"{key}: behaviour changed: {mismatches} — if intentional, "
+        f"regenerate tests/golden_stats.json"
+    )

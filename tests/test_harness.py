@@ -1,0 +1,202 @@
+"""Harness: registry, grid runner, and report rendering."""
+
+import pytest
+
+from repro.analysis import analyze_footprint
+from repro.gpu.config import GPUConfig
+from repro.harness.registry import (
+    BENCHMARKS,
+    benchmark_names,
+    experiment_config,
+    iter_benchmarks,
+    load_benchmark,
+)
+from repro.harness.report import (
+    render_config,
+    render_footprints,
+    render_l1_hit_rates,
+    render_l2_hit_rates,
+    render_latency_sweep,
+    render_normalized_ipc,
+    render_table,
+)
+from repro.harness.runner import GridResult, run_grid, simulate
+from tests.conftest import tiny_workload
+
+
+class TestRegistry:
+    def test_sixteen_benchmarks(self):
+        assert len(BENCHMARKS) == 16
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == 16
+
+    def test_load_benchmark_roundtrip(self):
+        for name in ("bfs-citation", "amr", "join-gaussian"):
+            w = load_benchmark(name, scale="tiny")
+            assert w.full_name == name
+
+    def test_load_unknown(self):
+        with pytest.raises(ValueError):
+            load_benchmark("bfs-twitter")
+
+    def test_iter_benchmarks_covers_registry(self):
+        names = [w.full_name for w in iter_benchmarks(scale="tiny")]
+        assert names == benchmark_names()
+
+    def test_experiment_config_shape(self):
+        config = experiment_config()
+        assert isinstance(config, GPUConfig)
+        assert config.num_smx == 13
+
+    def test_experiment_config_overrides(self):
+        assert experiment_config(num_smx=4).num_smx == 4
+
+
+class TestSimulate:
+    def test_single_run(self):
+        stats = simulate(tiny_workload("bfs", "citation").kernel(), "rr", "dtbl")
+        assert stats.cycles > 0
+
+    def test_default_config_used(self):
+        stats = simulate(tiny_workload("amr").kernel())
+        assert len(stats.per_smx_instructions) == 13
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        workloads = [tiny_workload("bfs", "citation"), tiny_workload("join", "gaussian")]
+        return run_grid(
+            workloads,
+            schedulers=("rr", "adaptive-bind"),
+            models=("dtbl",),
+            config=experiment_config(num_smx=4, max_threads_per_smx=256),
+        )
+
+    def test_all_cells_present(self, grid):
+        assert len(grid.stats) == 2 * 2 * 1
+
+    def test_normalized_ipc_baseline_is_one(self, grid):
+        for b in grid.benchmarks:
+            assert grid.normalized_ipc(b, "rr", "dtbl") == pytest.approx(1.0)
+
+    def test_mean_metrics(self, grid):
+        mean = grid.mean_normalized_ipc("adaptive-bind", "dtbl")
+        assert mean > 0
+        assert grid.mean_metric("rr", "dtbl", "l2_hit_rate") > 0
+
+    def test_metric_accessor(self, grid):
+        value = grid.metric(grid.benchmarks[0], "rr", "dtbl", "ipc")
+        assert value == grid.get(grid.benchmarks[0], "rr", "dtbl").ipc
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(
+            [tiny_workload("bfs", "citation")],
+            schedulers=("rr", "tb-pri"),
+            models=("dtbl",),
+            config=experiment_config(num_smx=4, max_threads_per_smx=256),
+        )
+
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        assert "T" in text and "333" in text
+
+    def test_render_config(self):
+        text = render_config(experiment_config())
+        assert "Table I" in text and "SMXs" in text
+
+    def test_render_footprints(self):
+        results = {"bfs-citation": analyze_footprint(tiny_workload("bfs", "citation").kernel())}
+        text = render_footprints(results)
+        assert "parent-child" in text and "AVERAGE" in text
+
+    def test_render_figures(self, grid):
+        assert "Figure 7" in render_l2_hit_rates(grid)
+        assert "Figure 8" in render_l1_hit_rates(grid)
+        fig9 = render_normalized_ipc(grid)
+        assert "Figure 9" in fig9 and "MEAN" in fig9
+
+    def test_render_latency_sweep(self):
+        text = render_latency_sweep([(250, 1.2, 100.0), (4000, 1.05, 900.0)])
+        assert "250" in text and "1.200" in text
+
+
+class TestSeedSweep:
+    def test_runs_and_aggregates(self):
+        from repro.harness.runner import run_seed_sweep
+
+        r = run_seed_sweep(
+            "amr", "tb-pri", seeds=(1, 2), scale="tiny",
+            config=experiment_config(num_smx=4, max_threads_per_smx=256),
+        )
+        assert len(r.speedups) == 2
+        assert r.min <= r.mean <= r.max
+        assert r.std >= 0.0
+
+    def test_empty_statistics(self):
+        from repro.harness.runner import SeedSweepResult
+
+        r = SeedSweepResult("x", "dtbl", ())
+        assert r.mean == r.std == r.min == r.max == 0.0
+
+    def test_single_seed_std_zero(self):
+        from repro.harness.runner import SeedSweepResult
+
+        r = SeedSweepResult("x", "dtbl", (1.2,))
+        assert r.std == 0.0
+        assert r.mean == 1.2
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(
+            [tiny_workload("amr")],
+            schedulers=("rr", "adaptive-bind"),
+            models=("dtbl",),
+            config=experiment_config(num_smx=4, max_threads_per_smx=256),
+        )
+
+    def test_records_complete(self, grid):
+        from repro.harness.export import METRICS, grid_records
+
+        records = grid_records(grid)
+        assert len(records) == 2
+        for record in records:
+            for metric in METRICS:
+                assert metric in record
+            assert "normalized_ipc" in record
+
+    def test_json_roundtrip(self, grid):
+        import json as json_mod
+
+        from repro.harness.export import grid_to_json
+
+        parsed = json_mod.loads(grid_to_json(grid))
+        assert parsed[0]["benchmark"] == "amr"
+
+    def test_csv_shape(self, grid):
+        from repro.harness.export import grid_to_csv
+
+        lines = grid_to_csv(grid).strip().splitlines()
+        assert len(lines) == 3  # header + 2 records
+        assert lines[0].startswith("benchmark,scheduler,model")
+
+    def test_write_grid(self, grid, tmp_path):
+        from repro.harness.export import write_grid
+
+        path = tmp_path / "out.json"
+        write_grid(grid, str(path))
+        assert path.exists()
+        with pytest.raises(ValueError):
+            write_grid(grid, str(tmp_path / "out.xlsx"))
+
+    def test_empty_csv(self):
+        from repro.harness.export import grid_to_csv
+
+        assert grid_to_csv(GridResult(schedulers=[], models=[])) == ""

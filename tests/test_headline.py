@@ -1,0 +1,38 @@
+"""The paper's headline claims at experiment scale (slow; run with
+``pytest -m slow`` or without deselection)."""
+
+import pytest
+
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.harness.runner import simulate
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def spec():
+    w = load_benchmark("bfs-citation", scale="small")
+    return w.kernel()
+
+
+def test_laperm_beats_rr_on_bfs_citation(spec):
+    config = experiment_config()
+    rr = simulate(spec, "rr", "dtbl", config)
+    laperm = simulate(spec, "adaptive-bind", "dtbl", config)
+    assert laperm.ipc > rr.ipc * 1.05
+    assert laperm.child_mean_wait < rr.child_mean_wait
+
+
+def test_tb_pri_improves_l2(spec):
+    config = experiment_config()
+    rr = simulate(spec, "rr", "dtbl", config)
+    tb_pri = simulate(spec, "tb-pri", "dtbl", config)
+    assert tb_pri.l2_hit_rate > rr.l2_hit_rate
+
+
+def test_smx_bind_improves_l1(spec):
+    config = experiment_config()
+    rr = simulate(spec, "rr", "dtbl", config)
+    bind = simulate(spec, "smx-bind", "dtbl", config)
+    assert bind.l1_hit_rate > rr.l1_hit_rate
+    assert bind.child_same_smx_fraction == 1.0

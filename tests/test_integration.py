@@ -1,0 +1,110 @@
+"""Cross-module integration: every benchmark runs end-to-end under every
+scheduler and launch model, with work-conservation invariants."""
+
+import pytest
+
+from repro.core import SCHEDULER_ORDER, make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.harness.registry import experiment_config
+from tests.conftest import TINY_PAIRS, tiny_workload
+
+
+def small_machine():
+    return experiment_config(num_smx=4, max_threads_per_smx=256, max_tbs_per_smx=4)
+
+
+def run(workload, scheduler, model):
+    engine = Engine(
+        small_machine(), make_scheduler(scheduler), make_model(model), [workload.kernel()]
+    )
+    dispatches = []
+    original = engine.record_dispatch
+
+    def spy(tb, now):
+        original(tb, now)
+        dispatches.append(tb)
+
+    engine.record_dispatch = spy
+    stats = engine.run()
+    return engine, stats, dispatches
+
+
+@pytest.mark.parametrize("app,inp", TINY_PAIRS, ids=lambda p: str(p))
+@pytest.mark.parametrize("scheduler", SCHEDULER_ORDER)
+@pytest.mark.parametrize("model", ["cdp", "dtbl"])
+def test_runs_clean_with_conserved_work(app, inp, scheduler, model):
+    workload = tiny_workload(app, inp)
+    engine, stats, dispatches = run(workload, scheduler, model)
+
+    # every dispatched TB retired; nothing left anywhere
+    assert engine.kmu.drained
+    assert len(engine.kdu) == 0
+    assert engine.dynpar.pending_count == 0
+    assert all(smx.idle for smx in engine.smxs)
+
+    # each TB dispatched exactly once
+    ids = [tb.tb_id for tb in dispatches]
+    assert len(ids) == len(set(ids))
+    assert stats.tbs_dispatched == len(dispatches)
+    assert sum(stats.per_smx_tbs) == len(dispatches)
+
+    # children dispatch after their direct parent started
+    for tb in dispatches:
+        if tb.is_dynamic:
+            assert tb.parent.dispatched_at is not None
+            assert tb.dispatched_at >= tb.parent.dispatched_at
+
+
+@pytest.mark.parametrize("app,inp", [("bfs", "citation"), ("amr", None)])
+@pytest.mark.parametrize("model", ["cdp", "dtbl"])
+def test_instruction_totals_scheduler_invariant(app, inp, model):
+    workload = tiny_workload(app, inp)
+    totals = set()
+    for scheduler in SCHEDULER_ORDER:
+        _, stats, _ = run(workload, scheduler, model)
+        totals.add(stats.instructions)
+    assert len(totals) == 1
+
+
+@pytest.mark.parametrize("app,inp", [("bfs", "citation"), ("regx", "darpa")])
+def test_smx_bind_pins_children(app, inp):
+    workload = tiny_workload(app, inp)
+    _, stats, dispatches = run(workload, "smx-bind", "dtbl")
+    children = [tb for tb in dispatches if tb.is_dynamic]
+    assert children
+    assert all(tb.smx_id == tb.parent.smx_id for tb in children)
+
+
+def test_priorities_never_exceed_max_level():
+    workload = tiny_workload("bfs", "citation")
+    _, _, dispatches = run(workload, "tb-pri", "dtbl")
+    max_level = small_machine().max_priority_levels
+    assert all(tb.priority <= max_level for tb in dispatches)
+    assert any(tb.priority >= 1 for tb in dispatches)
+
+
+def test_cdp_and_dtbl_agree_on_work():
+    workload = tiny_workload("clr", "graph500")
+    _, cdp_stats, cdp_d = run(workload, "rr", "cdp")
+    _, dtbl_stats, dtbl_d = run(workload, "rr", "dtbl")
+    assert cdp_stats.instructions == dtbl_stats.instructions
+    assert len(cdp_d) == len(dtbl_d)
+
+
+def test_dtbl_children_available_sooner():
+    workload = tiny_workload("bfs", "citation")
+    _, cdp_stats, _ = run(workload, "tb-pri", "cdp")
+    _, dtbl_stats, _ = run(workload, "tb-pri", "dtbl")
+    assert dtbl_stats.launches == cdp_stats.launches
+    # CDP pays a ~16x larger launch latency in the default config
+    assert dtbl_stats.cycles <= cdp_stats.cycles
+
+
+def test_warp_scheduler_variants_complete():
+    workload = tiny_workload("bht")
+    for ws in ("gto", "lrr"):
+        config = small_machine().with_overrides(warp_scheduler=ws)
+        engine = Engine(config, make_scheduler("rr"), make_model("dtbl"), [workload.kernel()])
+        stats = engine.run()
+        assert stats.tbs_dispatched > 0

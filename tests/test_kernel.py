@@ -1,0 +1,117 @@
+"""Runtime kernels, thread blocks, and DTBL group growth."""
+
+import pytest
+
+from repro.gpu.kernel import (
+    Kernel,
+    KernelSpec,
+    ResourceReq,
+    TBState,
+    ThreadBlock,
+    spec_from_launch,
+)
+from repro.gpu.trace import LaunchSpec, TBBody, compute
+
+
+def body():
+    return TBBody(warps=[[compute(1)]])
+
+
+def make_kernel(n_tbs=4, priority=0, threads=64):
+    spec = KernelSpec(
+        name="k",
+        bodies=[body() for _ in range(n_tbs)],
+        resources=ResourceReq(threads=threads),
+    )
+    return Kernel(spec, priority=priority)
+
+
+class TestResourceReq:
+    def test_warps_rounds_up(self):
+        assert ResourceReq(threads=33).warps == 2
+
+    def test_registers(self):
+        assert ResourceReq(threads=64, regs_per_thread=32).registers == 2048
+
+
+class TestKernelSpec:
+    def test_requires_bodies(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="empty", bodies=[])
+
+
+class TestKernel:
+    def test_tbs_created_with_indices_and_priority(self):
+        k = make_kernel(3, priority=2)
+        assert [tb.index for tb in k.tbs] == [0, 1, 2]
+        assert all(tb.priority == 2 for tb in k.tbs)
+
+    def test_host_kernel_is_not_device_kernel(self):
+        assert not make_kernel().is_device_kernel
+
+    def test_fresh_kernel_not_complete(self):
+        assert not make_kernel().complete
+
+    def test_complete_when_all_retired(self):
+        k = make_kernel(2)
+        k.retired_tbs = 2
+        assert k.complete
+
+    def test_pending_launches_block_completion(self):
+        k = make_kernel(1)
+        k.retired_tbs = 1
+        k.pending_launches = 1
+        assert not k.complete
+
+    def test_append_group_extends_pool(self):
+        k = make_kernel(2)
+        parent = k.tbs[0]
+        spec = LaunchSpec(bodies=[body(), body()], threads_per_tb=64)
+        group = k.append_group(spec, priority=1, parent=parent, now=10)
+        assert k.num_tbs == 4
+        assert [tb.index for tb in group] == [2, 3]
+        assert all(tb.parent is parent for tb in group)
+        assert all(tb.priority == 1 for tb in group)
+        assert all(tb.created_at == 10 for tb in group)
+
+    def test_matches_requires_same_configuration(self):
+        k = make_kernel(threads=64)
+        assert k.matches(LaunchSpec(bodies=[body()], threads_per_tb=64))
+        assert not k.matches(LaunchSpec(bodies=[body()], threads_per_tb=128))
+        assert not k.matches(
+            LaunchSpec(bodies=[body()], threads_per_tb=64, smem_per_tb=1024)
+        )
+
+
+class TestThreadBlock:
+    def test_initial_state(self):
+        tb = make_kernel().tbs[0]
+        assert tb.state == TBState.PENDING
+        assert tb.smx_id is None
+        assert not tb.is_dynamic
+
+    def test_dynamic_when_parented(self):
+        k = make_kernel(2)
+        child = ThreadBlock(body(), k, 99, parent=k.tbs[0])
+        assert child.is_dynamic
+
+    def test_unique_ids(self):
+        k = make_kernel(4)
+        ids = [tb.tb_id for tb in k.tbs]
+        assert len(set(ids)) == 4
+
+    def test_resources_come_from_kernel(self):
+        k = make_kernel(threads=96)
+        assert k.tbs[0].resources.threads == 96
+
+
+class TestSpecFromLaunch:
+    def test_translates_configuration(self):
+        launch = LaunchSpec(
+            bodies=[body()], threads_per_tb=128, regs_per_thread=40, smem_per_tb=512, name="x"
+        )
+        spec = spec_from_launch(launch)
+        assert spec.name == "x"
+        assert spec.resources.threads == 128
+        assert spec.resources.regs_per_thread == 40
+        assert spec.resources.smem_bytes == 512

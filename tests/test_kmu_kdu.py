@@ -1,0 +1,117 @@
+"""Kernel management: KDU capacity and KMU admission policies."""
+
+import pytest
+
+from repro.gpu.kdu import KDU
+from repro.gpu.kernel import Kernel, KernelSpec, ResourceReq
+from repro.gpu.kmu import KMU
+from repro.gpu.trace import TBBody, compute
+
+
+def make_kernel(priority=0, name="k"):
+    spec = KernelSpec(
+        name=name,
+        bodies=[TBBody(warps=[[compute(1)]])],
+        resources=ResourceReq(threads=32),
+    )
+    return Kernel(spec, priority=priority)
+
+
+class TestKDU:
+    def test_capacity(self):
+        kdu = KDU(2)
+        kdu.admit(make_kernel())
+        kdu.admit(make_kernel())
+        assert kdu.full
+        with pytest.raises(RuntimeError):
+            kdu.admit(make_kernel())
+
+    def test_retire_frees_entry(self):
+        kdu = KDU(1)
+        k = make_kernel()
+        kdu.admit(k)
+        kdu.retire(k)
+        assert kdu.free_entries == 1
+        assert k not in kdu
+
+    def test_high_water(self):
+        kdu = KDU(4)
+        a, b = make_kernel(), make_kernel()
+        kdu.admit(a)
+        kdu.admit(b)
+        kdu.retire(a)
+        assert kdu.high_water == 2
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            KDU(0)
+
+
+class TestKMUFcfs:
+    def test_admits_in_arrival_order(self):
+        kdu = KDU(8)
+        kmu = KMU(kdu, prioritized=False)
+        admitted = []
+        kmu.on_admit = lambda k, now: admitted.append(k.name)
+        kmu.submit(make_kernel(priority=0, name="first"), 0)
+        kmu.submit(make_kernel(priority=5, name="second"), 0)
+        assert admitted == ["first", "second"]
+
+    def test_queues_when_kdu_full(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu, prioritized=False)
+        kmu.submit(make_kernel(name="a"), 0)
+        kmu.submit(make_kernel(name="b"), 0)
+        assert kmu.pending_count == 1
+        assert not kmu.drained
+
+    def test_fill_after_retire(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu, prioritized=False)
+        a, b = make_kernel(name="a"), make_kernel(name="b")
+        kmu.submit(a, 0)
+        kmu.submit(b, 0)
+        kdu.retire(a)
+        kmu.fill_kdu(10)
+        assert b in kdu
+        assert kmu.drained
+
+    def test_ignores_priority(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu, prioritized=False)
+        kmu.submit(make_kernel(name="low", priority=0), 0)
+        kmu.submit(make_kernel(name="hi", priority=3), 0)
+        kmu.submit(make_kernel(name="mid", priority=1), 0)
+        kdu.retire(kdu.kernels[0])
+        kmu.fill_kdu(0)
+        # FCFS: 'hi' arrived before 'mid'; priority is irrelevant
+        assert kdu.kernels[0].name == "hi"
+
+
+class TestKMUPrioritized:
+    def test_highest_priority_first(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu, prioritized=True)
+        kmu.submit(make_kernel(name="host", priority=0), 0)  # admitted (KDU empty)
+        kmu.submit(make_kernel(name="lv1", priority=1), 0)
+        kmu.submit(make_kernel(name="lv3", priority=3), 0)
+        kdu.retire(kdu.kernels[0])
+        kmu.fill_kdu(0)
+        assert kdu.kernels[0].name == "lv3"
+
+    def test_fcfs_within_level(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu, prioritized=True)
+        kmu.submit(make_kernel(name="blocker", priority=9), 0)
+        kmu.submit(make_kernel(name="first", priority=2), 0)
+        kmu.submit(make_kernel(name="second", priority=2), 0)
+        kdu.retire(kdu.kernels[0])
+        kmu.fill_kdu(0)
+        assert kdu.kernels[0].name == "first"
+
+    def test_pending_high_water(self):
+        kdu = KDU(1)
+        kmu = KMU(kdu)
+        for i in range(4):
+            kmu.submit(make_kernel(name=str(i)), 0)
+        assert kmu.pending_high_water == 3

@@ -1,0 +1,96 @@
+"""Property-based invariants of the memory hierarchy timing model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make_mem(merging=True, lines_per_cycle=2.0):
+    return MemoryHierarchy(
+        GPUConfig(
+            num_smx=2,
+            l1=CacheConfig(size_bytes=1024, associativity=2),
+            l2=CacheConfig(size_bytes=4096, associativity=4),
+            l1_hit_latency=10,
+            l2_hit_latency=50,
+            dram_latency=200,
+            dram_lines_per_cycle=lines_per_cycle,
+            mshr_merging=merging,
+        )
+    )
+
+
+warp_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # smx
+        st.lists(st.integers(min_value=0, max_value=64 * 128 - 1), min_size=1, max_size=32),
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(accesses=warp_accesses, merging=st.booleans())
+def test_completion_never_before_issue(accesses, merging):
+    mem = make_mem(merging=merging)
+    now = 0
+    for smx, addrs, is_write in accesses:
+        result = mem.access_warp(smx, addrs, now, is_write=is_write)
+        assert result.complete_at >= now
+        now += 7
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses=warp_accesses)
+def test_outcome_classes_partition_transactions(accesses):
+    mem = make_mem()
+    now = 0
+    for smx, addrs, is_write in accesses:
+        r = mem.access_warp(smx, addrs, now, is_write=is_write)
+        # write path can classify a line as both an L1 write-hit and an
+        # L2 event, so only read transactions partition exactly
+        if not is_write:
+            assert r.l1_hits + r.l2_hits + r.dram_accesses + r.mshr_merges == r.transactions
+        now += 3
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses=warp_accesses)
+def test_merging_never_increases_dram_traffic(accesses):
+    with_m, without_m = make_mem(merging=True), make_mem(merging=False)
+    now = 0
+    for smx, addrs, is_write in accesses:
+        with_m.access_warp(smx, addrs, now, is_write=is_write)
+        without_m.access_warp(smx, addrs, now, is_write=is_write)
+        now += 3
+    assert with_m.dram.stats.transactions <= without_m.dram.stats.transactions
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=32),
+    bw=st.sampled_from([0.5, 1.0, 4.0]),
+)
+def test_lower_bandwidth_never_faster(addrs, bw):
+    fast = make_mem(lines_per_cycle=100.0)
+    slow = make_mem(lines_per_cycle=bw)
+    # hammer both with the same two scattered warp accesses back to back
+    a = fast.access_warp(0, addrs, 0)
+    b = slow.access_warp(0, addrs, 0)
+    assert b.complete_at >= a.complete_at
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses=warp_accesses)
+def test_hit_rates_bounded(accesses):
+    mem = make_mem()
+    now = 0
+    for smx, addrs, is_write in accesses:
+        mem.access_warp(smx, addrs, now, is_write=is_write)
+        now += 5
+    assert 0.0 <= mem.l1_hit_rate <= 1.0
+    assert 0.0 <= mem.l2_hit_rate <= 1.0

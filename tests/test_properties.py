@@ -1,0 +1,122 @@
+"""Property-based end-to-end tests: random launch trees must execute to
+completion with exact work accounting under every scheduler and model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SCHEDULER_ORDER, make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load, store, walk_bodies
+
+
+def machine():
+    return GPUConfig(
+        num_smx=3,
+        max_threads_per_smx=128,
+        max_tbs_per_smx=2,
+        max_registers_per_smx=8192,
+        shared_mem_per_smx=4096,
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+        cdp_launch_latency=60,
+        dtbl_launch_latency=15,
+        max_priority_levels=3,
+    )
+
+
+# --- random launch-tree generation ------------------------------------------
+
+@st.composite
+def warp_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    instrs = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["compute", "load", "store"]))
+        if kind == "compute":
+            instrs.append(compute(draw(st.integers(1, 8))))
+        else:
+            base = draw(st.integers(0, 63)) * 128
+            addrs = [base + 4 * lane for lane in range(draw(st.integers(1, 32)))]
+            instrs.append(load(addrs) if kind == "load" else store(addrs))
+    return instrs
+
+
+@st.composite
+def launch_trees(draw, depth):
+    """A TB body with optional nested launches up to ``depth`` levels."""
+    trace = draw(warp_traces())
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 2))):
+            n_children = draw(st.integers(1, 3))
+            children = [draw(launch_trees(depth=depth - 1)) for _ in range(n_children)]
+            trace.append(launch(LaunchSpec(bodies=children, threads_per_tb=32, regs_per_thread=8)))
+    trace.append(compute(1))
+    return TBBody(warps=[trace])
+
+
+@st.composite
+def host_kernels(draw):
+    n_tbs = draw(st.integers(1, 5))
+    bodies = [draw(launch_trees(depth=draw(st.integers(0, 2)))) for _ in range(n_tbs)]
+    return KernelSpec(
+        name="random",
+        bodies=bodies,
+        resources=ResourceReq(threads=32, regs_per_thread=8),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=host_kernels(), scheduler=st.sampled_from(SCHEDULER_ORDER), model=st.sampled_from(["cdp", "dtbl"]))
+def test_random_launch_trees_complete(spec, scheduler, model):
+    expected_tbs = len(walk_bodies(spec.bodies))
+    expected_instrs = sum(b.instruction_count() for b in walk_bodies(spec.bodies))
+    engine = Engine(machine(), make_scheduler(scheduler), make_model(model), [spec], max_cycles=5_000_000)
+    stats = engine.run()
+    assert stats.tbs_dispatched == expected_tbs
+    assert stats.instructions == expected_instrs
+    assert engine.kmu.drained
+    assert len(engine.kdu) == 0
+    assert all(smx.idle for smx in engine.smxs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=host_kernels())
+def test_all_schedulers_agree_on_work(spec):
+    instrs = set()
+    for scheduler in SCHEDULER_ORDER:
+        engine = Engine(machine(), make_scheduler(scheduler), make_model("dtbl"), [spec], max_cycles=5_000_000)
+        instrs.add(engine.run().instructions)
+    assert len(instrs) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=host_kernels())
+def test_deterministic_replay(spec):
+    def fingerprint():
+        engine = Engine(machine(), make_scheduler("adaptive-bind"), make_model("cdp"), [spec], max_cycles=5_000_000)
+        s = engine.run()
+        return (s.cycles, s.instructions, s.l1_hits, s.l2_hits, s.child_same_smx)
+
+    assert fingerprint() == fingerprint()
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=host_kernels(), latency=st.integers(0, 2000))
+def test_launch_latency_monotone_child_creation(spec, latency):
+    """Children can never be created before their launch latency elapses."""
+    config = machine().with_overrides(dtbl_launch_latency=latency)
+    engine = Engine(config, make_scheduler("rr"), make_model("dtbl"), [spec], max_cycles=5_000_000)
+    created = []
+    original = engine.record_dispatch
+
+    def spy(tb, now):
+        original(tb, now)
+        if tb.is_dynamic:
+            created.append(tb.created_at)
+
+    engine.record_dispatch = spy
+    engine.run()
+    assert all(c >= latency for c in created)

@@ -1,0 +1,147 @@
+"""LaPerm priority queues: entries, level ordering, on-chip capacity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import Entry, MultiLevelQueue
+from repro.gpu.kernel import Kernel, KernelSpec, ResourceReq
+from repro.gpu.trace import TBBody, compute
+
+
+def make_tbs(n, priority=0):
+    spec = KernelSpec(
+        name="q",
+        bodies=[TBBody(warps=[[compute(1)]]) for _ in range(n)],
+        resources=ResourceReq(threads=32),
+    )
+    return Kernel(spec, priority=priority).tbs
+
+
+class TestEntry:
+    def test_requires_tbs(self):
+        with pytest.raises(ValueError):
+            Entry([], level=1)
+
+    def test_cursor_walk(self):
+        tbs = make_tbs(3)
+        e = Entry(tbs, level=1)
+        assert e.remaining == 3
+        assert e.peek() is tbs[0]
+        assert e.pop() is tbs[0]
+        assert e.peek() is tbs[1]
+        assert e.remaining == 2
+        e.pop()
+        e.pop()
+        assert e.empty
+
+    def test_overflow_penalty_paid_once(self):
+        e = Entry(make_tbs(2), level=1)
+        e.overflow = True
+        assert e.dispatch_penalty(100) == 100
+        assert e.dispatch_penalty(100) == 0
+
+    def test_onchip_entry_has_no_penalty(self):
+        e = Entry(make_tbs(1), level=1)
+        assert e.dispatch_penalty(100) == 0
+
+
+class TestMultiLevelQueue:
+    def test_highest_level_first(self):
+        q = MultiLevelQueue(max_level=3)
+        low = Entry(make_tbs(1), level=1)
+        high = Entry(make_tbs(1), level=3)
+        q.push(low)
+        q.push(high)
+        assert q.head() is high
+
+    def test_fcfs_within_level(self):
+        q = MultiLevelQueue(max_level=2)
+        first = Entry(make_tbs(1), level=2)
+        second = Entry(make_tbs(1), level=2)
+        q.push(first)
+        q.push(second)
+        assert q.head() is first
+
+    def test_level_clamped_to_max(self):
+        q = MultiLevelQueue(max_level=2)
+        q.push(Entry(make_tbs(1), level=99))
+        assert q.head() is not None
+
+    def test_exhausted_entries_pruned(self):
+        q = MultiLevelQueue(max_level=2)
+        e = Entry(make_tbs(1), level=2)
+        q.push(e)
+        e.pop()
+        assert q.head() is None
+        assert q.empty
+        assert q.total_entries == 0
+
+    def test_total_tbs(self):
+        q = MultiLevelQueue(max_level=2)
+        q.push(Entry(make_tbs(3), level=1))
+        q.push(Entry(make_tbs(2), level=2))
+        assert q.total_tbs == 5
+
+    def test_capacity_marks_overflow(self):
+        q = MultiLevelQueue(max_level=2, capacity=2)
+        entries = [Entry(make_tbs(1), level=1) for _ in range(4)]
+        for e in entries:
+            q.push(e)
+        assert [e.overflow for e in entries] == [False, False, True, True]
+        assert q.overflow_events == 2
+        assert q.onchip_entries == 2
+
+    def test_retiring_onchip_entry_frees_slot(self):
+        q = MultiLevelQueue(max_level=1, capacity=1)
+        a = Entry(make_tbs(1), level=1)
+        q.push(a)
+        a.pop()
+        assert q.head() is None  # prunes a, frees the on-chip slot
+        b = Entry(make_tbs(1), level=1)
+        q.push(b)
+        assert not b.overflow
+
+    def test_entry_high_water(self):
+        q = MultiLevelQueue(max_level=1)
+        for _ in range(5):
+            q.push(Entry(make_tbs(1), level=1))
+        assert q.entry_high_water == 5
+
+    def test_rejects_negative_levels(self):
+        with pytest.raises(ValueError):
+            MultiLevelQueue(max_level=-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(min_value=0, max_value=4), st.integers(1, 3)),
+            st.just(("pop",)),
+        ),
+        max_size=60,
+    )
+)
+def test_pop_order_is_priority_then_fcfs(ops):
+    """Dispatch order oracle: highest level first, FCFS within a level."""
+    q = MultiLevelQueue(max_level=4)
+    model: list[tuple[int, int, object]] = []  # (level, seq, tb)
+    seq = 0
+    for op in ops:
+        if op[0] == "push":
+            _, level, n = op
+            tbs = make_tbs(n, priority=level)
+            q.push(Entry(tbs, level=level))
+            for tb in tbs:
+                model.append((level, seq, tb))
+            seq += 1
+        else:
+            entry = q.head()
+            if entry is None:
+                assert not model
+                continue
+            got = entry.pop()
+            model.sort(key=lambda t: (-t[0], t[1]))
+            expected = model.pop(0)[2]
+            assert got is expected

@@ -1,0 +1,37 @@
+"""Report rendering details."""
+
+from repro.harness.report import _bar, render_table
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        # all rows equally wide
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_first(self):
+        text = render_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_numbers_stringified(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14159" in text
+
+
+class TestBar:
+    def test_empty(self):
+        assert _bar(0.0) == ""
+
+    def test_full(self):
+        assert _bar(1.0, scale=10) == "#" * 10
+
+    def test_clamped(self):
+        assert _bar(5.0, scale=10) == "#" * 10
+
+    def test_proportional(self):
+        assert len(_bar(0.5, scale=10)) == 5

@@ -1,0 +1,95 @@
+"""Kernel-trace serialization round-trips."""
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.serialize import load_spec, save_spec, spec_from_obj, spec_to_obj
+from repro.gpu.trace import LaunchSpec, Op, TBBody, compute, launch, load, store, walk_bodies
+from repro.harness.registry import experiment_config
+from tests.conftest import tiny_workload
+
+
+def traces_equal(a: KernelSpec, b: KernelSpec) -> bool:
+    wa, wb = walk_bodies(a.bodies), walk_bodies(b.bodies)
+    if len(wa) != len(wb):
+        return False
+    for body_a, body_b in zip(wa, wb):
+        if len(body_a.warps) != len(body_b.warps):
+            return False
+        for warp_a, warp_b in zip(body_a.warps, body_b.warps):
+            if len(warp_a) != len(warp_b):
+                return False
+            for ia, ib in zip(warp_a, warp_b):
+                if (ia.op, ia.cycles, ia.addresses) != (ib.op, ib.cycles, ib.addresses):
+                    return False
+    return True
+
+
+def sample_spec():
+    leaf = TBBody(warps=[[load([0, 4]), compute(3), store([128])]])
+    mid = TBBody(warps=[[compute(2), launch(LaunchSpec(bodies=[leaf], threads_per_tb=32))]])
+    shared = LaunchSpec(bodies=[mid], threads_per_tb=64, regs_per_thread=20, name="shared")
+    root = TBBody(warps=[[launch(shared), compute(1), launch(shared)]])
+    return KernelSpec(
+        name="sample",
+        bodies=[root],
+        resources=ResourceReq(threads=32, regs_per_thread=18, smem_bytes=256),
+    )
+
+
+class TestRoundTrip:
+    def test_object_round_trip(self):
+        spec = sample_spec()
+        rebuilt = spec_from_obj(spec_to_obj(spec))
+        assert rebuilt.name == spec.name
+        assert rebuilt.resources == spec.resources
+        assert traces_equal(spec, rebuilt)
+
+    def test_shared_launch_specs_preserved(self):
+        spec = sample_spec()
+        rebuilt = spec_from_obj(spec_to_obj(spec))
+        launches = rebuilt.bodies[0].launches()
+        assert len(launches) == 2
+        assert launches[0] is launches[1]  # sharing preserved, not duplicated
+
+    def test_file_round_trip(self, tmp_path):
+        spec = sample_spec()
+        path = str(tmp_path / "trace.json.gz")
+        save_spec(spec, path)
+        assert traces_equal(spec, load_spec(path))
+
+    def test_workload_round_trip(self, tmp_path):
+        spec = tiny_workload("bfs", "citation").kernel()
+        path = str(tmp_path / "bfs.json.gz")
+        save_spec(spec, path)
+        rebuilt = load_spec(path)
+        assert traces_equal(spec, rebuilt)
+
+    def test_rebuilt_trace_simulates_identically(self, tmp_path):
+        spec = tiny_workload("amr").kernel()
+        path = str(tmp_path / "amr.json.gz")
+        save_spec(spec, path)
+        rebuilt = load_spec(path)
+        config = experiment_config(num_smx=4, max_threads_per_smx=256)
+
+        def run(s):
+            engine = Engine(config, make_scheduler("adaptive-bind"), make_model("dtbl"), [s])
+            stats = engine.run()
+            return (stats.cycles, stats.instructions, stats.l1_hits, stats.l2_hits)
+
+        assert run(spec) == run(rebuilt)
+
+    def test_version_check(self):
+        obj = spec_to_obj(sample_spec())
+        obj["version"] = 99
+        with pytest.raises(ValueError):
+            spec_from_obj(obj)
+
+    def test_unknown_instruction_kind(self):
+        obj = spec_to_obj(sample_spec())
+        obj["bodies"][obj["roots"][0]][0][0] = ["z", 0]
+        with pytest.raises(ValueError):
+            spec_from_obj(obj)

@@ -1,0 +1,75 @@
+"""SimStats derived metrics."""
+
+import pytest
+
+from repro.gpu.stats import SimStats
+
+
+class TestRates:
+    def test_ipc(self):
+        s = SimStats(cycles=100, instructions=250)
+        assert s.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_hit_rates(self):
+        s = SimStats(l1_accesses=10, l1_hits=4, l2_accesses=5, l2_hits=5)
+        assert s.l1_hit_rate == 0.4
+        assert s.l2_hit_rate == 1.0
+
+    def test_hit_rates_no_accesses(self):
+        s = SimStats()
+        assert s.l1_hit_rate == 0.0
+        assert s.l2_hit_rate == 0.0
+
+
+class TestChildMetrics:
+    def test_mean_wait(self):
+        s = SimStats(child_tbs_dispatched=4, child_wait_total=200)
+        assert s.child_mean_wait == 50.0
+
+    def test_mean_wait_no_children(self):
+        assert SimStats().child_mean_wait == 0.0
+
+    def test_same_smx_fraction(self):
+        s = SimStats(child_tbs_dispatched=8, child_same_smx=6)
+        assert s.child_same_smx_fraction == 0.75
+
+    def test_same_smx_no_children(self):
+        assert SimStats().child_same_smx_fraction == 0.0
+
+
+class TestLoadBalance:
+    def test_perfectly_balanced(self):
+        s = SimStats(per_smx_instructions=[100, 100, 100])
+        assert s.smx_load_imbalance == 0.0
+
+    def test_imbalanced(self):
+        s = SimStats(per_smx_instructions=[0, 0, 300])
+        assert s.smx_load_imbalance == pytest.approx(2**0.5, rel=1e-6)
+
+    def test_empty(self):
+        assert SimStats().smx_load_imbalance == 0.0
+
+    def test_all_zero(self):
+        assert SimStats(per_smx_instructions=[0, 0]).smx_load_imbalance == 0.0
+
+
+class TestUtilization:
+    def test_full(self):
+        s = SimStats(cycles=10, per_smx_busy_cycles=[10, 10])
+        assert s.smx_utilization == 1.0
+
+    def test_half(self):
+        s = SimStats(cycles=10, per_smx_busy_cycles=[10, 0])
+        assert s.smx_utilization == 0.5
+
+    def test_no_cycles(self):
+        assert SimStats(per_smx_busy_cycles=[5]).smx_utilization == 0.0
+
+
+def test_summary_contains_key_fields():
+    text = SimStats(cycles=10, instructions=20).summary()
+    for token in ("cycles=10", "ipc=2.00", "L1=", "util="):
+        assert token in text

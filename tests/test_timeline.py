@@ -1,0 +1,99 @@
+"""Occupancy timeline observer."""
+
+import pytest
+
+from repro.analysis.timeline import OccupancyTimeline
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.config import CacheConfig, GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import TBBody, compute
+
+
+class FakeTB:
+    def __init__(self, smx_id, warps=2, dynamic=False):
+        self.smx_id = smx_id
+        self.body = type("B", (), {"num_warps": warps})()
+        self.is_dynamic = dynamic
+
+
+class TestQueries:
+    def test_occupancy_steps(self):
+        tl = OccupancyTimeline(num_smx=2)
+        tb = FakeTB(0)
+        tl("dispatch", tb, 10)
+        tl("dispatch", FakeTB(0), 20)
+        tl("retire", tb, 30)
+        assert tl.occupancy_at(5, 0) == 0
+        assert tl.occupancy_at(10, 0) == 1
+        assert tl.occupancy_at(25, 0) == 2
+        assert tl.occupancy_at(30, 0) == 1
+        assert tl.occupancy_at(25, 1) == 0
+
+    def test_peak(self):
+        tl = OccupancyTimeline(num_smx=1)
+        tbs = [FakeTB(0) for _ in range(3)]
+        for i, tb in enumerate(tbs):
+            tl("dispatch", tb, i)
+        tl("retire", tbs[0], 5)
+        assert tl.occupancy_peak(0) == 3
+
+    def test_mean_occupancy(self):
+        tl = OccupancyTimeline(num_smx=1)
+        tb = FakeTB(0)
+        tl("dispatch", tb, 0)
+        tl("retire", tb, 10)
+        # resident for the full duration [0, 10) of a 10-cycle timeline
+        assert tl.mean_occupancy(0) == pytest.approx(1.0)
+
+    def test_profile_length(self):
+        tl = OccupancyTimeline(num_smx=1)
+        tl("dispatch", FakeTB(0), 0)
+        assert len(tl.profile(0, samples=17)) == 17
+
+    def test_empty_timeline(self):
+        tl = OccupancyTimeline(num_smx=2)
+        assert tl.end_time == 0
+        assert tl.mean_occupancy(0) == 0.0
+        assert tl.profile(0) == [0] * 60
+
+
+class TestRender:
+    def test_heatmap_rows(self):
+        tl = OccupancyTimeline(num_smx=3)
+        tl("dispatch", FakeTB(1), 0)
+        text = tl.render(samples=20)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 SMXs + legend
+        assert lines[0].startswith("SMX0")
+        assert "resident TBs" in lines[-1]
+
+
+class TestWithEngine:
+    def test_observer_collects_real_run(self):
+        config = GPUConfig(
+            num_smx=2,
+            max_threads_per_smx=64,
+            max_tbs_per_smx=2,
+            max_registers_per_smx=4096,
+            shared_mem_per_smx=4096,
+            l1=CacheConfig(size_bytes=1024, associativity=2),
+            l2=CacheConfig(size_bytes=4096, associativity=4),
+        )
+        spec = KernelSpec(
+            name="obs",
+            bodies=[TBBody(warps=[[compute(20)]]) for _ in range(6)],
+            resources=ResourceReq(threads=32, regs_per_thread=8),
+        )
+        engine = Engine(config, make_scheduler("rr"), make_model("dtbl"), [spec])
+        tl = OccupancyTimeline(num_smx=2)
+        engine.observers.append(tl)
+        engine.run()
+        dispatches = sum(1 for e in tl.events if e.delta_tbs > 0)
+        retires = sum(1 for e in tl.events if e.delta_tbs < 0)
+        assert dispatches == retires == 6
+        # everything retired: final occupancy is zero everywhere
+        end = tl.end_time
+        assert tl.occupancy_at(end + 1, 0) == 0
+        assert tl.occupancy_at(end + 1, 1) == 0

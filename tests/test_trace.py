@@ -1,0 +1,96 @@
+"""Trace instruction model and thread-block bodies."""
+
+import pytest
+
+from repro.gpu.trace import (
+    LaunchSpec,
+    Op,
+    TBBody,
+    compute,
+    launch,
+    load,
+    store,
+    walk_bodies,
+)
+
+
+class TestInstructions:
+    def test_compute(self):
+        instr = compute(5)
+        assert instr.op == Op.COMPUTE
+        assert instr.cycles == 5
+
+    def test_compute_rejects_zero(self):
+        with pytest.raises(ValueError):
+            compute(0)
+
+    def test_load_stores_addresses_as_tuple(self):
+        instr = load([0, 4, 8])
+        assert instr.op == Op.LOAD
+        assert instr.addresses == (0, 4, 8)
+
+    def test_store(self):
+        assert store([128]).op == Op.STORE
+
+    def test_launch_carries_spec(self):
+        spec = LaunchSpec(bodies=[TBBody(warps=[[compute(1)]])])
+        instr = launch(spec)
+        assert instr.op == Op.LAUNCH
+        assert instr.launch is spec
+
+
+class TestTBBody:
+    def test_requires_a_warp(self):
+        with pytest.raises(ValueError):
+            TBBody(warps=[])
+
+    def test_num_warps(self):
+        body = TBBody(warps=[[compute(1)], [compute(1)]])
+        assert body.num_warps == 2
+
+    def test_instruction_count_weights_compute(self):
+        body = TBBody(warps=[[compute(10), load([0]), store([0])]])
+        assert body.instruction_count() == 12
+
+    def test_launches_in_trace_order(self):
+        a = LaunchSpec(bodies=[TBBody(warps=[[compute(1)]])], name="a")
+        b = LaunchSpec(bodies=[TBBody(warps=[[compute(1)]])], name="b")
+        body = TBBody(warps=[[launch(a), compute(1), launch(b)]])
+        assert [s.name for s in body.launches()] == ["a", "b"]
+
+    def test_touched_lines(self):
+        body = TBBody(warps=[[load([0, 4]), store([256]), compute(3)]])
+        assert body.touched_lines() == {0, 2}
+
+    def test_touched_lines_skips_inactive(self):
+        body = TBBody(warps=[[load([-1, 128])]])
+        assert body.touched_lines() == {1}
+
+
+class TestLaunchSpec:
+    def test_requires_bodies(self):
+        with pytest.raises(ValueError):
+            LaunchSpec(bodies=[])
+
+    def test_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            LaunchSpec(bodies=[TBBody(warps=[[compute(1)]])], threads_per_tb=0)
+
+
+class TestWalkBodies:
+    def test_flat(self):
+        bodies = [TBBody(warps=[[compute(1)]]) for _ in range(3)]
+        assert walk_bodies(bodies) == bodies
+
+    def test_nested_depth_first(self):
+        leaf = TBBody(warps=[[compute(1)]])
+        mid = TBBody(warps=[[launch(LaunchSpec(bodies=[leaf]))]])
+        root = TBBody(warps=[[launch(LaunchSpec(bodies=[mid]))]])
+        walked = walk_bodies([root])
+        assert walked == [root, mid, leaf]
+
+    def test_counts_every_nested_tb_once(self):
+        leaf = lambda: TBBody(warps=[[compute(1)]])
+        spec = LaunchSpec(bodies=[leaf(), leaf()])
+        root = TBBody(warps=[[launch(spec), launch(LaunchSpec(bodies=[leaf()]))]])
+        assert len(walk_bodies([root])) == 4
