@@ -2,8 +2,9 @@
 
 PYTHON ?= python3
 SCALE ?= small
+JOBS ?= 1
 
-.PHONY: install test test-fast bench bench-tiny figures experiments validate clean
+.PHONY: install test test-fast bench bench-tiny figures experiments grid-fast validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -23,7 +24,12 @@ bench-tiny:
 figures: bench
 
 experiments:
-	$(PYTHON) scripts/make_experiments_report.py $(SCALE)
+	$(PYTHON) scripts/make_experiments_report.py $(SCALE) --jobs $(JOBS)
+
+# smoke test of the parallel executor: a tiny 2-benchmark grid over 4 workers
+grid-fast:
+	PYTHONPATH=src $(PYTHON) -m repro.cli grid --scale tiny --jobs 4 --no-cache \
+		--benchmarks amr join-gaussian --models dtbl
 
 goldens:
 	$(PYTHON) scripts/regenerate_goldens.py

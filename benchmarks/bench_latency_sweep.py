@@ -7,27 +7,19 @@ locality". We sweep the launch latency from the DTBL hardware path
 report Adaptive-Bind's speedup over RR at each point.
 """
 
-from repro.harness.registry import experiment_config, load_benchmark
 from repro.harness.report import render_latency_sweep
-from repro.harness.runner import simulate
+from repro.harness.runner import run_latency_sweep
 
 from benchmarks.conftest import SCALE, SHAPE_CHECKS, once
 
 LATENCIES = [250, 1000, 4000, 16000, 64000]
 
 
-def test_latency_sweep(benchmark):
-    workload = load_benchmark("bfs-citation", scale=SCALE)
-    spec = workload.kernel()
-
+def test_latency_sweep(benchmark, executor):
     def run():
-        rows = []
-        for latency in LATENCIES:
-            config = experiment_config(dtbl_launch_latency=latency)
-            rr = simulate(spec, "rr", "dtbl", config)
-            laperm = simulate(spec, "adaptive-bind", "dtbl", config)
-            rows.append((latency, laperm.ipc / rr.ipc, laperm.child_mean_wait))
-        return rows
+        return run_latency_sweep(
+            "bfs-citation", LATENCIES, scale=SCALE, executor=executor
+        )
 
     rows = once(benchmark, run)
     print("\n" + render_latency_sweep(rows))

@@ -2,8 +2,14 @@
 
 The figure benchmarks (7, 8, 9) all consume the same benchmark x
 scheduler x model grid, which is expensive; it is computed once per
-pytest session. Scale is controlled with ``REPRO_SCALE`` (tiny / small /
-paper; default small — a full run takes a few minutes).
+pytest session through the RunSpec execution layer. Environment knobs:
+
+* ``REPRO_SCALE`` — tiny / small / paper (default small; a full run
+  takes a few minutes).
+* ``REPRO_JOBS`` — worker processes for the executor (default 1 =
+  serial; see docs/harness.md for guidance).
+* ``REPRO_CACHE_DIR`` — enable the on-disk result cache rooted there.
+  Off by default so pytest-benchmark timings measure real simulation.
 """
 
 from __future__ import annotations
@@ -12,15 +18,24 @@ import os
 
 import pytest
 
+from repro.harness.execution import make_executor
 from repro.harness.registry import experiment_config, iter_benchmarks
 from repro.harness.runner import run_grid
 
 SCALE = os.environ.get("REPRO_SCALE", "small")
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
 def scale() -> str:
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """The session executor every figure/sweep benchmark runs through."""
+    return make_executor(jobs=JOBS, cache=CACHE_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -33,9 +48,9 @@ def workloads(scale):
 
 
 @pytest.fixture(scope="session")
-def evaluation_grid(workloads):
+def evaluation_grid(workloads, executor):
     """The full Figures 7/8/9 grid, computed once per session."""
-    return run_grid(workloads, config=experiment_config())
+    return run_grid(workloads, config=experiment_config(), executor=executor)
 
 
 def once(benchmark, fn):

@@ -31,10 +31,15 @@ from repro.gpu import Engine, GPUConfig, KernelSpec, SimStats
 from repro.harness import (
     BENCHMARKS,
     GridResult,
+    ResultCache,
+    RunSpec,
     experiment_config,
     iter_benchmarks,
     load_benchmark,
+    make_executor,
     run_grid,
+    run_latency_sweep,
+    run_seed_sweep,
     simulate,
 )
 from repro.workloads import APPLICATIONS, Workload, make_workload
@@ -53,6 +58,8 @@ __all__ = [
     "KernelSpec",
     "MODELS",
     "OccupancyTimeline",
+    "ResultCache",
+    "RunSpec",
     "SCHEDULERS",
     "SCHEDULER_ORDER",
     "SimStats",
@@ -63,12 +70,15 @@ __all__ = [
     "inter_tb_reuse",
     "iter_benchmarks",
     "load_benchmark",
+    "make_executor",
     "make_model",
     "make_scheduler",
     "make_workload",
     "run_functional_kernel",
     "reuse_distance_histogram",
     "run_grid",
+    "run_latency_sweep",
+    "run_seed_sweep",
     "simulate",
     "__version__",
 ]

@@ -6,21 +6,29 @@
     repro config                            # Table I machine descriptions
     repro run bfs-citation -s adaptive-bind # one simulation
     repro compare bfs-citation              # all schedulers on one benchmark
-    repro grid                              # Figures 7/8/9 (full evaluation)
+    repro grid --jobs 4                     # Figures 7/8/9 (full evaluation)
     repro footprint                         # Figure 2 analysis
 
 Every command accepts ``--scale tiny|small|paper`` (default: small).
+``run``, ``compare`` and ``grid`` go through the RunSpec execution layer
+(docs/harness.md): ``--jobs N`` fans simulations out over N worker
+processes and results are cached on disk by content (``--cache-dir``,
+default ``$REPRO_CACHE_DIR`` or ``.repro-cache``; ``--no-cache``
+disables).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.core import SCHEDULER_ORDER, SCHEDULERS
 from repro.dynpar import MODELS
 from repro.gpu.config import KEPLER_K20C
+from repro.harness.cache import ResultCache
+from repro.harness.execution import Executor, RunSpec, make_executor
 from repro.harness.registry import benchmark_names, experiment_config, load_benchmark
 from repro.harness.report import (
     render_config,
@@ -31,12 +39,37 @@ from repro.harness.report import (
 )
 from repro.harness.runner import run_grid, simulate
 
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=("tiny", "small", "paper"), default="small",
         help="input size (default: small)",
     )
+
+
+def _add_execution(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes (default: 1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+
+
+def _executor_from_args(args: argparse.Namespace) -> Executor:
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        cache = ResultCache(cache_dir)
+    return make_executor(jobs=args.jobs, cache=cache)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -60,18 +93,24 @@ def cmd_config(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
-    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
     if not args.timeline:
-        stats = simulate(workload.kernel(), args.scheduler, args.model, experiment_config())
-        print(stats.summary())
+        executor = _executor_from_args(args)
+        spec = RunSpec.create(
+            args.benchmark, args.scheduler, args.model, scale=args.scale, seed=args.seed
+        )
+        print(f"running {spec.label()} ...", file=sys.stderr)
+        print(executor.run_one(spec).summary())
         return 0
 
+    # the timeline needs an in-process engine with an observer attached,
+    # so it bypasses the executor (cached stats carry no event stream)
     from repro.analysis import OccupancyTimeline
     from repro.core import make_scheduler
     from repro.dynpar import make_model
     from repro.gpu.engine import Engine
 
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
     config = experiment_config()
     engine = Engine(
         config, make_scheduler(args.scheduler), make_model(args.model), [workload.kernel()]
@@ -85,12 +124,18 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
-    print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
-    spec = workload.kernel()
+    executor = _executor_from_args(args)
+    specs = {
+        scheduler: RunSpec.create(
+            args.benchmark, scheduler, args.model, scale=args.scale, seed=args.seed
+        )
+        for scheduler in SCHEDULER_ORDER
+    }
+    print(f"comparing schedulers on {args.benchmark} ({args.scale}) ...", file=sys.stderr)
+    results = executor.run(list(specs.values()))
     base = None
-    for scheduler in SCHEDULER_ORDER:
-        stats = simulate(spec, scheduler, args.model, experiment_config())
+    for scheduler, spec in specs.items():
+        stats = results[spec]
         if base is None:
             base = stats.ipc
         print(
@@ -108,7 +153,12 @@ def cmd_grid(args: argparse.Namespace) -> int:
     if benchmarks:
         workloads = [load_benchmark(b, scale=args.scale, seed=args.seed) for b in benchmarks]
     print("running the evaluation grid (this takes a few minutes) ...", file=sys.stderr)
-    grid = run_grid(workloads, models=tuple(args.models), scale=args.scale)
+    grid = run_grid(
+        workloads,
+        models=tuple(args.models),
+        scale=args.scale,
+        executor=_executor_from_args(args),
+    )
     print(render_l2_hit_rates(grid))
     print()
     print(render_l1_hit_rates(grid))
@@ -222,17 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
     run_p.add_argument("--timeline", action="store_true", help="print an SMX occupancy heatmap")
     _add_scale(run_p)
+    _add_execution(run_p)
 
     cmp_p = sub.add_parser("compare", help="run all four schedulers on one benchmark")
     cmp_p.add_argument("benchmark", choices=benchmark_names())
     cmp_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
     _add_scale(cmp_p)
+    _add_execution(cmp_p)
 
     grid_p = sub.add_parser("grid", help="run the Figures 7/8/9 evaluation grid")
     grid_p.add_argument("--benchmarks", nargs="*", help="subset (default: all 16)")
     grid_p.add_argument("--models", nargs="*", default=["cdp", "dtbl"], choices=sorted(MODELS))
     grid_p.add_argument("-o", "--output", help="also export results (.json or .csv)")
     _add_scale(grid_p)
+    _add_execution(grid_p)
 
     fp_p = sub.add_parser("footprint", help="run the Figure 2 footprint analysis")
     _add_scale(fp_p)

@@ -15,7 +15,7 @@ can sweep it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,18 @@ class CacheConfig:
                 f"cache size {self.size_bytes} is not divisible by "
                 f"line_bytes*associativity={self.line_bytes * self.associativity}"
             )
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe view; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown CacheConfig fields {unknown}")
+        return cls(**data)
 
     @property
     def num_lines(self) -> int:
@@ -133,6 +145,32 @@ class GPUConfig:
     def with_overrides(self, **kwargs) -> "GPUConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe view of the full machine description.
+
+        Nested :class:`CacheConfig` fields become nested dicts; the
+        round trip through :meth:`from_dict` reproduces an equal
+        ``GPUConfig`` (both are frozen dataclasses with value equality).
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.to_dict() if isinstance(value, CacheConfig) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown GPUConfig fields {unknown}; expected a subset of {sorted(known)}")
+        kwargs = dict(data)
+        for name in ("l1", "l2"):
+            if name in kwargs and isinstance(kwargs[name], dict):
+                kwargs[name] = CacheConfig.from_dict(kwargs[name])
+        return cls(**kwargs)
 
     def describe(self) -> str:
         """Render the configuration as a Table-I style listing."""

@@ -1,4 +1,4 @@
-"""Kernel-trace serialization.
+"""Kernel-trace, configuration and statistics serialization.
 
 Workload traces can take seconds to minutes to generate (graph synthesis
 plus per-warp trace building). This module saves a `KernelSpec` — the
@@ -9,18 +9,63 @@ launches round-trips to a single object).
 Format: a flat table of bodies (instruction streams) and launch specs,
 referenced by index, so arbitrarily deep launch trees serialize without
 recursion.
+
+It also provides the plain-object round trips the execution layer is
+built on: `GPUConfig` and `SimStats` to/from JSON-compatible dicts
+(`config_to_obj` / `config_from_obj`, `stats_to_obj` / `stats_from_obj`)
+and `config_fingerprint`, the content hash that keys result caching in
+`repro.harness` (see docs/harness.md).
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
 from typing import Optional
 
+from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.stats import SimStats
 from repro.gpu.trace import Instr, LaunchSpec, Op, TBBody
 
 FORMAT_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_to_obj(config: GPUConfig) -> dict:
+    """Serialize a machine description to plain JSON-compatible objects."""
+    return config.to_dict()
+
+
+def config_from_obj(obj: dict) -> GPUConfig:
+    """Rebuild a :class:`GPUConfig` from :func:`config_to_obj` output."""
+    return GPUConfig.from_dict(obj)
+
+
+def config_fingerprint(config: GPUConfig) -> str:
+    """Short content hash of a machine description.
+
+    Two configs share a fingerprint iff every field (including nested
+    cache geometry) is equal — this is what makes simulation results
+    content-addressable.
+    """
+    digest = hashlib.sha256(canonical_json(config_to_obj(config)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def stats_to_obj(stats: SimStats) -> dict:
+    """Serialize simulation results to plain JSON-compatible objects."""
+    return stats.to_dict()
+
+
+def stats_from_obj(obj: dict) -> SimStats:
+    """Rebuild a :class:`SimStats` from :func:`stats_to_obj` output."""
+    return SimStats.from_dict(obj)
 
 
 def _instr_to_obj(instr: Instr, spec_ids: dict[int, int]) -> list:

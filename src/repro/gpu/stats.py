@@ -7,7 +7,7 @@ L1/L2 hit rates, SMX load balance, and dynamic-parallelism timing metrics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from statistics import pstdev
 
 
@@ -96,6 +96,28 @@ class SimStats:
             return 0.0
         total = sum(self.per_smx_busy_cycles)
         return total / (len(self.per_smx_busy_cycles) * self.cycles)
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe view of every stored field.
+
+        Derived metrics (``ipc``, hit rates, ...) are properties and are
+        recomputed after :meth:`from_dict`, so the round trip preserves
+        them exactly.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, list) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SimStats fields {unknown}; expected a subset of {sorted(known)}")
+        return cls(**{k: list(v) if isinstance(v, (list, tuple)) else v for k, v in data.items()})
 
     def summary(self) -> str:
         return (

@@ -1,4 +1,4 @@
-"""Experiment harness: benchmark registry, grid runner, and reports."""
+"""Experiment harness: registry, RunSpec execution layer, and reports."""
 
 from repro.harness.registry import (
     BENCHMARKS,
@@ -7,21 +7,41 @@ from repro.harness.registry import (
     iter_benchmarks,
     load_benchmark,
 )
+from repro.harness.cache import ResultCache
+from repro.harness.execution import (
+    ENGINE_VERSION,
+    Executor,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    make_executor,
+    run_spec,
+    seed_kernel_cache,
+)
 from repro.harness.export import grid_records, grid_to_csv, grid_to_json, write_grid
 from repro.harness.runner import (
+    DEFAULT_LATENCIES,
     DEFAULT_MODELS,
     GridResult,
     SeedSweepResult,
     run_grid,
+    run_latency_sweep,
     run_seed_sweep,
     simulate,
 )
 
 __all__ = [
     "BENCHMARKS",
+    "DEFAULT_LATENCIES",
     "DEFAULT_MODELS",
+    "ENGINE_VERSION",
+    "Executor",
     "GridResult",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
     "SeedSweepResult",
+    "SerialExecutor",
     "benchmark_names",
     "grid_records",
     "grid_to_csv",
@@ -29,8 +49,12 @@ __all__ = [
     "experiment_config",
     "iter_benchmarks",
     "load_benchmark",
+    "make_executor",
     "run_grid",
+    "run_latency_sweep",
     "run_seed_sweep",
+    "run_spec",
+    "seed_kernel_cache",
     "simulate",
     "write_grid",
 ]

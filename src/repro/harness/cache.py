@@ -1,0 +1,85 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A record is one JSON file per simulation, stored under a directory
+sharded by the first two hex digits of its key::
+
+    <root>/ab/abcdef0123....json
+
+Keys are produced by :meth:`repro.harness.execution.RunSpec.cache_key`:
+a SHA-256 over the full run description (benchmark, scale, seed,
+scheduler, model, the complete machine configuration and the cycle
+budget) *plus* ``ENGINE_VERSION``, so results stored by an older engine
+are simply never looked up again — stale entries go cold instead of
+going wrong.
+
+The cache itself is deliberately dumb storage: it maps key strings to
+JSON records and never interprets them. Validation (does the stored spec
+really match? is the engine version current?) lives in the executor,
+which re-simulates on any mismatch. Corrupt or truncated files are
+treated as misses, and writes are atomic (temp file + ``os.replace``) so
+concurrent processes sharing one cache directory never observe a
+half-written record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+
+class ResultCache:
+    """Keyed JSON-record store rooted at one directory.
+
+    The directory is created lazily on the first :meth:`store`, so
+    constructing a cache (e.g. from a CLI default) touches nothing.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """File a record with this key lives at (whether or not it exists)."""
+        if not key or any(c in key for c in "/\\."):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """Return the record stored under ``key``, or None.
+
+        Missing, unreadable and corrupt files all count as misses — the
+        caller recomputes and overwrites.
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+            record = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: dict) -> None:
+        """Atomically write ``record`` under ``key`` (overwrites)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of records on disk (walks the directory)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

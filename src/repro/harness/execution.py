@@ -1,0 +1,361 @@
+"""Declarative experiment execution: RunSpecs, executors and caching.
+
+Every experiment in the repository — the Figures 7/8/9 grid, the seed
+sweeps, the latency sweep, ``repro run``/``compare`` — reduces to a set
+of independent simulations. This module makes that set explicit:
+
+* :class:`RunSpec` is a frozen, hashable description of one simulation
+  (benchmark, scale, seed, scheduler, model, full machine configuration,
+  cycle budget). Equal RunSpecs denote byte-identical simulations, which
+  is what makes deduplication and content-addressed caching sound.
+* An :class:`Executor` maps RunSpecs to :class:`SimStats`.
+  :class:`SerialExecutor` runs in-process; :class:`ParallelExecutor`
+  fans out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+  Workers rebuild the workload from the spec (benchmark name + scale +
+  seed), so nothing unpicklable — launch trees with shared bodies —
+  ever crosses the process boundary; only small plain dicts do.
+* Both executors deduplicate identical specs within a call and can share
+  a :class:`repro.harness.cache.ResultCache`; a warm cache answers a
+  whole grid without constructing a single engine.
+
+The simulator is deterministic, so serial, parallel and cached execution
+of the same specs produce identical results (tests assert byte-identical
+``grid_to_json`` output). See docs/harness.md for the architecture and
+cache-invalidation rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.config import GPUConfig
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.serialize import (
+    canonical_json,
+    config_from_obj,
+    config_to_obj,
+    stats_from_obj,
+    stats_to_obj,
+)
+from repro.gpu.stats import SimStats
+from repro.harness.cache import ResultCache
+
+#: Version of the simulation semantics. Bump whenever an engine,
+#: scheduler, memory-model or workload-generation change can alter the
+#: stats a RunSpec produces: it enters every cache key, so all previously
+#: stored results go cold (never wrong) without manual cleanup.
+ENGINE_VERSION = 1
+
+#: Default cycle budget, matching the historical harness default.
+DEFAULT_MAX_CYCLES = 500_000_000
+
+#: sentinel distinguishing "no cycle budget" from "default budget" in
+#: serialized specs (None must round-trip losslessly through JSON keys)
+_UNLIMITED = -1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, hashable description of one simulation.
+
+    ``config_json`` holds the canonical JSON encoding of the full
+    :class:`GPUConfig` (not just a fingerprint), so a spec is
+    self-contained: any process can rebuild the machine and the workload
+    from the spec alone. An empty string normalizes to the standard
+    experiment machine at construction time, so
+    ``RunSpec("amr", "rr", "dtbl")`` equals
+    ``RunSpec.create("amr", "rr", "dtbl")``.
+    """
+
+    benchmark: str
+    scheduler: str
+    model: str
+    scale: str = "small"
+    seed: int = 7
+    config_json: str = ""
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+
+    def __post_init__(self) -> None:
+        if not self.config_json:
+            from repro.harness.registry import experiment_config
+
+            object.__setattr__(
+                self, "config_json", canonical_json(config_to_obj(experiment_config()))
+            )
+
+    @classmethod
+    def create(
+        cls,
+        benchmark: str,
+        scheduler: str,
+        model: str,
+        *,
+        scale: str = "small",
+        seed: int = 7,
+        config: Optional[GPUConfig] = None,
+        max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+    ) -> "RunSpec":
+        """Build a spec from a real :class:`GPUConfig` (None = standard)."""
+        config_json = "" if config is None else canonical_json(config_to_obj(config))
+        return cls(
+            benchmark=benchmark,
+            scheduler=scheduler,
+            model=model,
+            scale=scale,
+            seed=seed,
+            config_json=config_json,
+            max_cycles=max_cycles,
+        )
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload,
+        scheduler: str,
+        model: str,
+        config: Optional[GPUConfig] = None,
+        *,
+        max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+    ) -> "RunSpec":
+        """Spec for an existing workload instance (name, scale and seed)."""
+        return cls.create(
+            workload.full_name,
+            scheduler,
+            model,
+            scale=workload.scale,
+            seed=workload.seed,
+            config=config,
+            max_cycles=max_cycles,
+        )
+
+    def gpu_config(self) -> GPUConfig:
+        """Rebuild the machine description this spec encodes."""
+        return config_from_obj(json.loads(self.config_json))
+
+    @property
+    def config_fingerprint(self) -> str:
+        """Short content hash of the machine configuration."""
+        return hashlib.sha256(self.config_json.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (JSON- and pickle-safe); inverse of :meth:`from_dict`."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["max_cycles"] is None:
+            out["max_cycles"] = _UNLIMITED
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields {unknown}")
+        kwargs = dict(data)
+        if kwargs.get("max_cycles") == _UNLIMITED:
+            kwargs["max_cycles"] = None
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """Content hash addressing this run in a :class:`ResultCache`.
+
+        Includes :data:`ENGINE_VERSION`, so results simulated under older
+        engine semantics are never returned for current specs.
+        """
+        payload = {"engine_version": ENGINE_VERSION, "spec": self.to_dict()}
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable one-liner for progress output."""
+        return (
+            f"{self.benchmark}/{self.scheduler}/{self.model} "
+            f"(scale={self.scale}, seed={self.seed}, config={self.config_fingerprint})"
+        )
+
+
+# --- workload / kernel reuse -------------------------------------------------
+#
+# Building a workload trace can cost far more than simulating it once, and
+# a grid simulates the same trace under every scheduler x model. Kernels
+# are keyed by (benchmark, scale, seed) — exactly the RunSpec fields a
+# trace depends on — and shared across executor calls in this process.
+# Worker processes get their own copy of this cache (prepopulated for
+# free under the ``fork`` start method).
+
+_KERNEL_CACHE: "OrderedDict[tuple[str, str, int], KernelSpec]" = OrderedDict()
+_KERNEL_CACHE_MAX = 32
+
+
+def _remember_kernel(key: tuple[str, str, int], spec: KernelSpec) -> None:
+    _KERNEL_CACHE[key] = spec
+    _KERNEL_CACHE.move_to_end(key)
+    while len(_KERNEL_CACHE) > _KERNEL_CACHE_MAX:
+        _KERNEL_CACHE.popitem(last=False)
+
+
+def seed_kernel_cache(workload) -> None:
+    """Register an already-built workload so executors reuse its trace.
+
+    This also lets :class:`SerialExecutor` run workloads that are not in
+    the Table II registry (e.g. custom :class:`~repro.workloads.Workload`
+    subclasses), which could not be rebuilt by name in a worker process.
+    """
+    _remember_kernel((workload.full_name, workload.scale, workload.seed), workload.kernel())
+
+
+def kernel_for(benchmark: str, scale: str, seed: int) -> KernelSpec:
+    """The (cached) kernel trace for one registry benchmark."""
+    key = (benchmark, scale, seed)
+    spec = _KERNEL_CACHE.get(key)
+    if spec is None:
+        from repro.harness.registry import load_benchmark
+
+        spec = load_benchmark(benchmark, scale=scale, seed=seed).kernel()
+        _remember_kernel(key, spec)
+    else:
+        _KERNEL_CACHE.move_to_end(key)
+    return spec
+
+
+def run_spec(spec: RunSpec) -> SimStats:
+    """Simulate one RunSpec in this process (no caching, no dedup)."""
+    engine = Engine(
+        spec.gpu_config(),
+        make_scheduler(spec.scheduler),
+        make_model(spec.model),
+        [kernel_for(spec.benchmark, spec.scale, spec.seed)],
+        max_cycles=spec.max_cycles,
+    )
+    return engine.run()
+
+
+def _worker_run(payload: dict) -> dict:
+    """Process-pool entry point: plain dict in, plain dict out."""
+    return stats_to_obj(run_spec(RunSpec.from_dict(payload)))
+
+
+# --- executors ----------------------------------------------------------------
+
+
+class Executor:
+    """Maps RunSpecs to SimStats with deduplication and optional caching.
+
+    ``run`` is the one entry point: it deduplicates the requested specs,
+    answers what it can from the cache, executes the misses (strategy
+    supplied by subclasses) and stores fresh results back. ``hits`` /
+    ``misses`` count cache outcomes across the executor's lifetime.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> dict[RunSpec, SimStats]:
+        """Execute every distinct spec once; returns spec -> stats."""
+        unique = list(dict.fromkeys(specs))
+        results: dict[RunSpec, SimStats] = {}
+        pending: list[RunSpec] = []
+        for spec in unique:
+            stats = self._cache_get(spec)
+            if stats is None:
+                pending.append(spec)
+            else:
+                results[spec] = stats
+        if pending:
+            for spec, stats in zip(pending, self._execute(pending)):
+                self._cache_put(spec, stats)
+                results[spec] = stats
+        return results
+
+    def run_one(self, spec: RunSpec) -> SimStats:
+        return self.run([spec])[spec]
+
+    # -- caching ---------------------------------------------------------------
+    def _cache_get(self, spec: RunSpec) -> Optional[SimStats]:
+        if self.cache is None:
+            return None
+        record = self.cache.load(spec.cache_key())
+        if (
+            record is None
+            or record.get("engine_version") != ENGINE_VERSION
+            or record.get("spec") != spec.to_dict()
+            or not isinstance(record.get("stats"), dict)
+        ):
+            self.misses += 1
+            return None
+        try:
+            stats = stats_from_obj(record["stats"])
+        except (TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def _cache_put(self, spec: RunSpec, stats: SimStats) -> None:
+        if self.cache is None:
+            return
+        self.cache.store(
+            spec.cache_key(),
+            {
+                "engine_version": ENGINE_VERSION,
+                "spec": spec.to_dict(),
+                "stats": stats_to_obj(stats),
+            },
+        )
+
+    # -- execution strategy ----------------------------------------------------
+    def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Runs every simulation in the calling process, one after another."""
+
+    def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
+        return [run_spec(spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Fans simulations out over a process pool.
+
+    Specs travel to workers as plain dicts and stats come back the same
+    way, so no engine state, scheduler object or kernel trace is ever
+    pickled. Each worker process rebuilds (and memoizes) workload traces
+    from the spec. Results are keyed by spec, not completion order, so
+    output is deterministic regardless of scheduling.
+    """
+
+    def __init__(self, jobs: int, cache: Optional[ResultCache] = None) -> None:
+        super().__init__(cache)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
+        if len(specs) == 1 or self.jobs == 1:
+            return [run_spec(spec) for spec in specs]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+            payloads = [spec.to_dict() for spec in specs]
+            return [stats_from_obj(obj) for obj in pool.map(_worker_run, payloads)]
+
+
+def make_executor(
+    jobs: int = 1,
+    cache: Optional[ResultCache | str] = None,
+) -> Executor:
+    """Executor factory: ``jobs<=1`` serial, else a ``jobs``-wide pool.
+
+    ``cache`` may be a :class:`ResultCache` or a directory path (a cache
+    is created there); None disables result caching.
+    """
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        cache = ResultCache(cache)
+    return SerialExecutor(cache) if jobs <= 1 else ParallelExecutor(jobs, cache)

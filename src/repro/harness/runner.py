@@ -1,9 +1,15 @@
 """Experiment runner: benchmark x scheduler x launch-model grids.
 
-``simulate`` runs one configuration; ``run_grid`` sweeps the full matrix
-the paper's Figures 7-9 are built from and returns a :class:`GridResult`
-that the report module renders. Kernel specs are built once per workload
-and shared across runs (the engine never mutates trace bodies).
+``simulate`` runs one configuration in-process; everything larger
+(``run_grid`` for the Figures 7-9 matrix, ``run_seed_sweep``,
+``run_latency_sweep`` for Section V-D) is a thin composition over the
+:mod:`repro.harness.execution` layer: each sweep enumerates
+:class:`~repro.harness.execution.RunSpec` objects and hands them to an
+executor, which deduplicates shared runs (the RR baseline simulates once
+per distinct spec, however many subjects compare against it), optionally
+fans out over worker processes (``jobs``) and consults the on-disk
+result cache (``cache``). Serial, parallel and cached execution produce
+identical results.
 """
 
 from __future__ import annotations
@@ -17,10 +23,21 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.engine import Engine
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.stats import SimStats
+from repro.harness.cache import ResultCache
+from repro.harness.execution import (
+    Executor,
+    RunSpec,
+    make_executor,
+    seed_kernel_cache,
+)
 from repro.harness.registry import experiment_config, iter_benchmarks
 from repro.workloads import Workload
 
 DEFAULT_MODELS = ("cdp", "dtbl")
+
+#: launch latencies (cycles) swept by Section V-D, DTBL hardware path to
+#: well past the measured CDP software path
+DEFAULT_LATENCIES = (250, 1000, 4000, 16000, 64000)
 
 
 def simulate(
@@ -43,6 +60,17 @@ def simulate(
     return engine.run()
 
 
+def _resolve_executor(
+    executor: Optional[Executor],
+    jobs: int,
+    cache: Optional[ResultCache | str],
+) -> Executor:
+    """Accept an explicit executor, or build one from jobs/cache knobs."""
+    if executor is not None:
+        return executor
+    return make_executor(jobs=jobs, cache=cache)
+
+
 @dataclass
 class GridResult:
     """Results of a benchmark x scheduler x model sweep."""
@@ -53,8 +81,22 @@ class GridResult:
     #: stats[(benchmark, scheduler, model)] -> SimStats
     stats: dict[tuple[str, str, str], SimStats] = field(default_factory=dict)
 
+    def _check_pair(self, scheduler: str, model: str) -> None:
+        if scheduler not in self.schedulers:
+            raise KeyError(
+                f"unknown scheduler {scheduler!r}; this grid has {sorted(self.schedulers)}"
+            )
+        if model not in self.models:
+            raise KeyError(f"unknown model {model!r}; this grid has {sorted(self.models)}")
+
     def get(self, benchmark: str, scheduler: str, model: str) -> SimStats:
-        return self.stats[(benchmark, scheduler, model)]
+        try:
+            return self.stats[(benchmark, scheduler, model)]
+        except KeyError:
+            self._check_pair(scheduler, model)
+            raise KeyError(
+                f"unknown benchmark {benchmark!r}; this grid has {sorted(self.benchmarks)}"
+            ) from None
 
     def metric(self, benchmark: str, scheduler: str, model: str, name: str) -> float:
         return getattr(self.get(benchmark, scheduler, model), name)
@@ -65,10 +107,13 @@ class GridResult:
         return self.get(benchmark, scheduler, model).ipc / base if base else 0.0
 
     def mean_metric(self, scheduler: str, model: str, name: str) -> float:
+        self._check_pair(scheduler, model)
         values = [self.metric(b, scheduler, model, name) for b in self.benchmarks]
         return sum(values) / len(values) if values else 0.0
 
     def mean_normalized_ipc(self, scheduler: str, model: str, baseline: str = "rr") -> float:
+        self._check_pair(scheduler, model)
+        self._check_pair(baseline, model)
         values = [self.normalized_ipc(b, scheduler, model, baseline) for b in self.benchmarks]
         return sum(values) / len(values) if values else 0.0
 
@@ -110,23 +155,36 @@ def run_seed_sweep(
     scale: str = "small",
     config: Optional[GPUConfig] = None,
     baseline: str = "rr",
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache | str] = None,
 ) -> SeedSweepResult:
     """Measure a scheduler's speedup over the baseline across input seeds.
 
     Workload generation is seeded; a result that only holds for one seed
     is noise. This regenerates the input for every seed and reports the
-    distribution of normalized IPC.
+    distribution of normalized IPC. When ``scheduler == baseline`` the
+    subject spec *is* the baseline spec, so each seed simulates exactly
+    once and the speedups are identically 1.0 — never two runs of the
+    same simulation.
     """
-    from repro.harness.registry import load_benchmark
-
     config = config or experiment_config()
-    speedups = []
+    executor = _resolve_executor(executor, jobs, cache)
+    pairs = []
     for seed in seeds:
-        spec = load_benchmark(benchmark, scale=scale, seed=seed).kernel()
-        base = simulate(spec, baseline, model, config)
-        subject = simulate(spec, scheduler, model, config)
-        speedups.append(subject.ipc / base.ipc if base.ipc else 0.0)
-    return SeedSweepResult(scheduler=scheduler, model=model, speedups=tuple(speedups))
+        base = RunSpec.create(benchmark, baseline, model, scale=scale, seed=seed, config=config)
+        subject = (
+            base
+            if scheduler == baseline
+            else RunSpec.create(benchmark, scheduler, model, scale=scale, seed=seed, config=config)
+        )
+        pairs.append((base, subject))
+    results = executor.run([spec for pair in pairs for spec in pair])
+    speedups = tuple(
+        results[subject].ipc / results[base].ipc if results[base].ipc else 0.0
+        for base, subject in pairs
+    )
+    return SeedSweepResult(scheduler=scheduler, model=model, speedups=speedups)
 
 
 def run_grid(
@@ -137,19 +195,79 @@ def run_grid(
     *,
     scale: str = "small",
     verbose: bool = False,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache | str] = None,
 ) -> GridResult:
-    """Run the full evaluation grid (Figures 7, 8 and 9)."""
+    """Run the full evaluation grid (Figures 7, 8 and 9).
+
+    Already-built workload traces are registered with the execution
+    layer, so a serial executor never rebuilds them; worker processes
+    rebuild by (benchmark, scale, seed). Workloads outside the Table II
+    registry therefore require a serial executor.
+    """
     config = config or experiment_config()
+    executor = _resolve_executor(executor, jobs, cache)
     if workloads is None:
         workloads = list(iter_benchmarks(scale=scale))
+    else:
+        workloads = list(workloads)
     result = GridResult(schedulers=list(schedulers), models=list(models))
+    cells: dict[tuple[str, str, str], RunSpec] = {}
     for workload in workloads:
-        spec = workload.kernel()
+        seed_kernel_cache(workload)
         result.benchmarks.append(workload.full_name)
         for model in models:
             for scheduler in schedulers:
-                stats = simulate(spec, scheduler, model, config)
-                result.stats[(workload.full_name, scheduler, model)] = stats
-                if verbose:
-                    print(f"  {workload.full_name:16s} {scheduler:14s} {model}: {stats.summary()}")
+                cells[(workload.full_name, scheduler, model)] = RunSpec.for_workload(
+                    workload, scheduler, model, config
+                )
+    stats_by_spec = executor.run(list(cells.values()))
+    for (benchmark, scheduler, model), spec in cells.items():
+        stats = stats_by_spec[spec]
+        result.stats[(benchmark, scheduler, model)] = stats
+        if verbose:
+            print(f"  {benchmark:16s} {scheduler:14s} {model}: {stats.summary()}")
     return result
+
+
+def run_latency_sweep(
+    benchmark: str = "bfs-citation",
+    latencies: Sequence[int] = DEFAULT_LATENCIES,
+    *,
+    scheduler: str = "adaptive-bind",
+    baseline: str = "rr",
+    model: str = "dtbl",
+    scale: str = "small",
+    seed: int = 7,
+    config: Optional[GPUConfig] = None,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache | str] = None,
+) -> list[tuple[int, float, float]]:
+    """Section V-D: sweep the device-launch latency.
+
+    Returns ``(latency, subject speedup over baseline, subject child
+    mean wait)`` rows, one per latency, in the order given.
+    """
+    base_config = config or experiment_config()
+    executor = _resolve_executor(executor, jobs, cache)
+    cells = []
+    for latency in latencies:
+        latency_config = base_config.with_overrides(dtbl_launch_latency=latency)
+        cells.append(
+            (
+                latency,
+                RunSpec.create(benchmark, baseline, model, scale=scale, seed=seed, config=latency_config),
+                RunSpec.create(benchmark, scheduler, model, scale=scale, seed=seed, config=latency_config),
+            )
+        )
+    results = executor.run([spec for _, base, subject in cells for spec in (base, subject)])
+    return [
+        (
+            latency,
+            results[subject].ipc / results[base].ipc if results[base].ipc else 0.0,
+            results[subject].child_mean_wait,
+        )
+        for latency, base, subject in cells
+    ]

@@ -1,0 +1,243 @@
+"""RunSpec execution layer: dedup, process parallelism, result caching.
+
+Includes the determinism acceptance proof: for a 2-benchmark tiny grid,
+serial, parallel (jobs=4) and warm-cache executions produce identical
+``grid_to_json`` output; a warm-cache rerun constructs zero engines; and
+changing the config fingerprint invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.engine import Engine
+from repro.gpu.serialize import config_fingerprint
+from repro.harness.cache import ResultCache
+from repro.harness.execution import (
+    ENGINE_VERSION,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    make_executor,
+)
+from repro.harness.export import grid_to_json
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.harness.runner import run_grid, run_latency_sweep, run_seed_sweep
+
+TINY_CONFIG = experiment_config(num_smx=4, max_threads_per_smx=256)
+GRID_KWARGS = dict(schedulers=("rr", "adaptive-bind"), models=("dtbl",), config=TINY_CONFIG)
+
+
+def tiny_workloads():
+    return [
+        load_benchmark("amr", scale="tiny"),
+        load_benchmark("join-gaussian", scale="tiny"),
+    ]
+
+
+@pytest.fixture
+def engine_runs(monkeypatch):
+    """Counts Engine.run calls in this process."""
+    calls = {"n": 0}
+    real_run = Engine.run
+
+    def counting_run(self):
+        calls["n"] += 1
+        return real_run(self)
+
+    monkeypatch.setattr(Engine, "run", counting_run)
+    return calls
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        a = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        b = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_default_config_normalizes(self):
+        assert RunSpec("amr", "rr", "dtbl") == RunSpec.create("amr", "rr", "dtbl")
+        assert RunSpec("amr", "rr", "dtbl").gpu_config() == experiment_config()
+
+    def test_dict_roundtrip(self):
+        spec = RunSpec.create(
+            "bfs-citation", "tb-pri", "cdp", scale="tiny", seed=3,
+            config=TINY_CONFIG, max_cycles=None,
+        )
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.max_cycles is None
+        assert json.dumps(spec.to_dict())  # JSON-safe
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"benchmark": "amr", "scheduler": "rr", "model": "dtbl", "gpu": 1})
+
+    def test_gpu_config_roundtrip(self):
+        spec = RunSpec.create("amr", "rr", "dtbl", config=TINY_CONFIG)
+        assert spec.gpu_config() == TINY_CONFIG
+
+    def test_fingerprint_tracks_config(self):
+        a = RunSpec.create("amr", "rr", "dtbl", config=TINY_CONFIG)
+        b = RunSpec.create("amr", "rr", "dtbl", config=TINY_CONFIG.with_overrides(num_smx=8))
+        assert a.config_fingerprint != b.config_fingerprint
+        assert a.config_fingerprint == config_fingerprint(TINY_CONFIG)
+
+    def test_cache_key_covers_every_field(self):
+        base = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        variants = [
+            RunSpec.create("bht", "rr", "dtbl", scale="tiny", config=TINY_CONFIG),
+            RunSpec.create("amr", "tb-pri", "dtbl", scale="tiny", config=TINY_CONFIG),
+            RunSpec.create("amr", "rr", "cdp", scale="tiny", config=TINY_CONFIG),
+            RunSpec.create("amr", "rr", "dtbl", scale="small", config=TINY_CONFIG),
+            RunSpec.create("amr", "rr", "dtbl", scale="tiny", seed=9, config=TINY_CONFIG),
+            RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG, max_cycles=10),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+
+class TestResultCache:
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        record = {"spec": {"x": 1}, "stats": {"cycles": 5}}
+        assert cache.load(key) is None
+        cache.store(key, record)
+        assert cache.load(key) == record
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.store(key, {"ok": True})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None
+
+    def test_rejects_path_like_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "../evil", "a/b", "x.json"):
+            with pytest.raises(ValueError):
+                cache.path_for(bad)
+
+    def test_missing_root_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.load("ee" + "2" * 62) is None
+
+
+class TestExecutors:
+    def test_dedupes_identical_specs(self, engine_runs):
+        spec = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        results = SerialExecutor().run([spec, spec, spec])
+        assert engine_runs["n"] == 1
+        assert list(results) == [spec]
+        assert results[spec].cycles > 0
+
+    def test_cache_hit_skips_simulation(self, tmp_path, engine_runs):
+        spec = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        cold = make_executor(cache=ResultCache(tmp_path))
+        first = cold.run_one(spec)
+        assert engine_runs["n"] == 1
+        warm = make_executor(cache=ResultCache(tmp_path))
+        second = warm.run_one(spec)
+        assert engine_runs["n"] == 1  # no new engine
+        assert warm.hits == 1
+        assert second.to_dict() == first.to_dict()
+
+    def test_engine_version_mismatch_invalidates(self, tmp_path, engine_runs):
+        spec = RunSpec.create("amr", "rr", "dtbl", scale="tiny", config=TINY_CONFIG)
+        cache = ResultCache(tmp_path)
+        make_executor(cache=cache).run_one(spec)
+        record = cache.load(spec.cache_key())
+        record["engine_version"] = ENGINE_VERSION + 1
+        cache.store(spec.cache_key(), record)
+        executor = make_executor(cache=cache)
+        executor.run_one(spec)
+        assert executor.misses == 1
+        assert engine_runs["n"] == 2
+
+    def test_make_executor_selects_strategy(self, tmp_path):
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(jobs=4), ParallelExecutor)
+        assert make_executor(cache=str(tmp_path)).cache is not None
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+
+class TestGridDeterminism:
+    """The acceptance proof from ISSUE 1."""
+
+    def test_serial_parallel_and_cache_are_byte_identical(self, tmp_path, engine_runs):
+        workloads = tiny_workloads()
+        serial = grid_to_json(run_grid(workloads, **GRID_KWARGS))
+        runs_serial = engine_runs["n"]
+        assert runs_serial == 4  # 2 benchmarks x 2 schedulers x 1 model
+
+        parallel = grid_to_json(run_grid(workloads, **GRID_KWARGS, jobs=4))
+        assert parallel == serial
+
+        cache = ResultCache(tmp_path)
+        cold = grid_to_json(run_grid(workloads, **GRID_KWARGS, cache=cache))
+        assert cold == serial
+
+        engine_runs["n"] = 0
+        warm = grid_to_json(run_grid(workloads, **GRID_KWARGS, cache=cache))
+        assert warm == serial
+        assert engine_runs["n"] == 0  # fully answered from the cache
+
+    def test_config_change_invalidates_cache(self, tmp_path, engine_runs):
+        workloads = tiny_workloads()
+        cache = ResultCache(tmp_path)
+        run_grid(workloads, **GRID_KWARGS, cache=cache)
+        baseline_runs = engine_runs["n"]
+
+        other = TINY_CONFIG.with_overrides(dtbl_launch_latency=999)
+        run_grid(
+            workloads,
+            schedulers=GRID_KWARGS["schedulers"],
+            models=GRID_KWARGS["models"],
+            config=other,
+            cache=cache,
+        )
+        assert engine_runs["n"] == 2 * baseline_runs  # every cell re-simulated
+
+
+class TestSweepComposition:
+    def test_seed_sweep_baseline_short_circuits(self, engine_runs):
+        """Regression: scheduler == baseline used to simulate every seed
+        twice and report speedups of exactly 1.0 at double the cost."""
+        result = run_seed_sweep(
+            "amr", "rr", baseline="rr", seeds=(1, 2), scale="tiny", config=TINY_CONFIG
+        )
+        assert result.speedups == (1.0, 1.0)
+        assert engine_runs["n"] == 2  # one simulation per seed, not two
+
+    def test_seed_sweep_runs_baseline_once_per_seed(self, engine_runs):
+        run_seed_sweep(
+            "amr", "tb-pri", seeds=(1, 2), scale="tiny", config=TINY_CONFIG
+        )
+        assert engine_runs["n"] == 4  # (baseline + subject) x 2 seeds
+
+    def test_seed_sweep_with_cache_shares_baseline_across_subjects(self, tmp_path, engine_runs):
+        cache = ResultCache(tmp_path)
+        run_seed_sweep(
+            "amr", "tb-pri", seeds=(1, 2), scale="tiny", config=TINY_CONFIG, cache=cache
+        )
+        assert engine_runs["n"] == 4
+        run_seed_sweep(
+            "amr", "adaptive-bind", seeds=(1, 2), scale="tiny", config=TINY_CONFIG, cache=cache
+        )
+        assert engine_runs["n"] == 6  # only the two new subject runs
+
+    def test_latency_sweep_rows(self):
+        rows = run_latency_sweep("amr", (250, 4000), scale="tiny", config=TINY_CONFIG)
+        assert [latency for latency, _, _ in rows] == [250, 4000]
+        for _, speedup, wait in rows:
+            assert speedup > 0
+            assert wait >= 0

@@ -91,6 +91,21 @@ class TestGrid:
         value = grid.metric(grid.benchmarks[0], "rr", "dtbl", "ipc")
         assert value == grid.get(grid.benchmarks[0], "rr", "dtbl").ipc
 
+    def test_mean_metric_rejects_unknown_scheduler(self, grid):
+        """A typo'd (scheduler, model) pair must raise, not return 0.0."""
+        with pytest.raises(KeyError, match="unknown scheduler 'adaptive'.*rr"):
+            grid.mean_metric("adaptive", "dtbl", "ipc")
+        with pytest.raises(KeyError, match="unknown model 'dtlb'.*dtbl"):
+            grid.mean_normalized_ipc("adaptive-bind", "dtlb")
+
+    def test_mean_normalized_ipc_rejects_unknown_baseline(self, grid):
+        with pytest.raises(KeyError, match="unknown scheduler 'fcfs'"):
+            grid.mean_normalized_ipc("adaptive-bind", "dtbl", baseline="fcfs")
+
+    def test_get_rejects_unknown_benchmark(self, grid):
+        with pytest.raises(KeyError, match="unknown benchmark 'bfs-twitter'"):
+            grid.get("bfs-twitter", "rr", "dtbl")
+
 
 class TestReports:
     @pytest.fixture(scope="class")
@@ -200,3 +215,39 @@ class TestExport:
         from repro.harness.export import grid_to_csv
 
         assert grid_to_csv(GridResult(schedulers=[], models=[])) == ""
+
+    def test_csv_quotes_awkward_benchmark_names(self):
+        """Commas and spaces in benchmark names must not shift columns."""
+        import csv as csv_mod
+        import io
+
+        from repro.gpu.stats import SimStats
+        from repro.harness.export import METRICS, grid_to_csv
+
+        names = ["join, uniform (v2)", "my custom bench"]
+        grid = GridResult(schedulers=["rr"], models=["dtbl"], benchmarks=list(names))
+        for name in names:
+            grid.stats[(name, "rr", "dtbl")] = SimStats(cycles=100, instructions=250)
+        rows = list(csv_mod.reader(io.StringIO(grid_to_csv(grid))))
+        assert len(rows) == 3
+        expected_fields = 3 + len(METRICS) + 1  # keys + metrics + normalized_ipc
+        assert all(len(row) == expected_fields for row in rows)
+        assert sorted(row[0] for row in rows[1:]) == sorted(names)
+
+    def test_stats_roundtrip_through_export_dicts(self):
+        """SimStats -> to_dict -> from_dict preserves every metric."""
+        from repro.gpu.stats import SimStats
+        from repro.harness.export import stats_record
+
+        workloads = [tiny_workload("bfs", "citation")]
+        grid = run_grid(
+            workloads,
+            schedulers=("rr",),
+            models=("dtbl",),
+            config=experiment_config(num_smx=4, max_threads_per_smx=256),
+        )
+        stats = grid.get(workloads[0].full_name, "rr", "dtbl")
+        clone = SimStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.summary() == stats.summary()
+        assert stats_record(clone) == stats_record(stats)

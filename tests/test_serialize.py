@@ -93,3 +93,87 @@ class TestRoundTrip:
         obj["bodies"][obj["roots"][0]][0][0] = ["z", 0]
         with pytest.raises(ValueError):
             spec_from_obj(obj)
+
+
+class TestConfigRoundTrip:
+    """GPUConfig <-> plain dicts (the execution layer's cache keys)."""
+
+    def test_default_config(self):
+        from repro.gpu.config import GPUConfig
+        from repro.gpu.serialize import config_from_obj, config_to_obj
+
+        config = experiment_config()
+        obj = config_to_obj(config)
+        assert config_from_obj(obj) == config
+        import json
+
+        assert config_from_obj(json.loads(json.dumps(obj))) == config
+        assert isinstance(config_from_obj(obj), GPUConfig)
+
+    def test_overridden_config(self):
+        from repro.gpu.config import CacheConfig
+        from repro.gpu.serialize import config_from_obj, config_to_obj
+
+        config = experiment_config(
+            num_smx=8,
+            smxs_per_cluster=2,
+            l1=CacheConfig(size_bytes=64 * 1024, associativity=8, hit_latency=2),
+            warp_scheduler="tl",
+            dram_lines_per_cycle=3.5,
+            mshr_merging=False,
+            l2_partitions=2,
+        )
+        assert config_from_obj(config_to_obj(config)) == config
+
+    def test_rejects_unknown_fields(self):
+        from repro.gpu.serialize import config_from_obj, config_to_obj
+
+        obj = config_to_obj(experiment_config())
+        obj["sm_count"] = 99
+        with pytest.raises(ValueError, match="unknown GPUConfig fields"):
+            config_from_obj(obj)
+
+    def test_fingerprint_is_content_addressed(self):
+        from repro.gpu.serialize import config_fingerprint
+
+        a = experiment_config()
+        b = experiment_config()
+        assert config_fingerprint(a) == config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(a.with_overrides(num_smx=4))
+
+
+class TestStatsRoundTrip:
+    """SimStats <-> plain dicts, including derived-metric preservation."""
+
+    def test_simulated_stats(self):
+        from repro.gpu.serialize import stats_from_obj, stats_to_obj
+
+        config = experiment_config(num_smx=4, max_threads_per_smx=256)
+        engine = Engine(
+            config, make_scheduler("adaptive-bind"), make_model("dtbl"),
+            [tiny_workload("bfs", "citation").kernel()],
+        )
+        stats = engine.run()
+        clone = stats_from_obj(stats_to_obj(stats))
+        assert clone == stats
+        assert clone.summary() == stats.summary()
+        assert clone.ipc == stats.ipc
+        assert clone.per_smx_instructions == stats.per_smx_instructions
+
+    def test_json_round_trip_is_lossless(self):
+        import json
+
+        from repro.gpu.serialize import stats_from_obj, stats_to_obj
+        from repro.gpu.stats import SimStats
+
+        stats = SimStats(
+            cycles=123, instructions=456, dram_mean_latency=1.0 / 3.0,
+            per_smx_instructions=[1, 2, 3], per_smx_busy_cycles=[4, 5, 6],
+        )
+        assert stats_from_obj(json.loads(json.dumps(stats_to_obj(stats)))) == stats
+
+    def test_rejects_unknown_fields(self):
+        from repro.gpu.serialize import stats_from_obj
+
+        with pytest.raises(ValueError, match="unknown SimStats fields"):
+            stats_from_obj({"cycles": 1, "warp_divergence": 0.5})
