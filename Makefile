@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install test test-fast bench bench-tiny figures experiments grid-fast validate clean
+.PHONY: install test test-fast bench bench-tiny figures experiments grid-fast trace-demo validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -31,6 +31,13 @@ grid-fast:
 	PYTHONPATH=src $(PYTHON) -m repro.cli grid --scale tiny --jobs 4 --no-cache \
 		--benchmarks amr join-gaussian --models dtbl
 
+# export a Chrome/Perfetto trace of bfs-citation (tiny) and re-check it
+# against the trace-event schema (docs/telemetry.md)
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace bfs-citation --scale tiny -o trace-demo.json
+	PYTHONPATH=src $(PYTHON) -c "import json; from repro.telemetry import assert_valid_trace; \
+		assert_valid_trace(json.load(open('trace-demo.json'))); print('trace-demo.json: schema ok')"
+
 goldens:
 	$(PYTHON) scripts/regenerate_goldens.py
 
@@ -38,5 +45,5 @@ validate:
 	$(PYTHON) -m repro.cli validate --scale $(SCALE)
 
 clean:
-	rm -rf .pytest_cache src/repro.egg-info
+	rm -rf .pytest_cache src/repro.egg-info trace-demo.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

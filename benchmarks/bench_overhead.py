@@ -34,7 +34,7 @@ def test_queue_overheads(benchmark):
                     [w.kernel()],
                 )
                 stats = engine.run()
-                high_water = max(q.entry_high_water for q in engine.scheduler._smx_queues)
+                high_water = stats.scheduler_queue_high_water
                 rows.append(
                     (
                         w.full_name,

@@ -22,20 +22,28 @@ from repro import experiment_config, load_benchmark
 from repro.core import make_scheduler
 from repro.dynpar import make_model
 from repro.gpu.engine import Engine
+from repro.telemetry import TBCompleted, TelemetrySink
+
+
+class KernelFinishSink(TelemetrySink):
+    """Tracks, per kernel name, the cycle its last TB retired."""
+
+    def __init__(self):
+        self.done = {}
+
+    def emit(self, event):
+        if isinstance(event, TBCompleted):
+            self.done[event.kernel] = max(self.done.get(event.kernel, 0), event.time)
 
 
 def run_pair(specs, scheduler_name, config):
-    engine = Engine(config, make_scheduler(scheduler_name), make_model("dtbl"), specs)
-    per_kernel_done = {}
-
-    def observer(kind, tb, now):
-        if kind == "retire":
-            name = tb.kernel.name
-            per_kernel_done[name] = max(per_kernel_done.get(name, 0), now)
-
-    engine.observers.append(observer)
+    sink = KernelFinishSink()
+    engine = Engine(
+        config, make_scheduler(scheduler_name), make_model("dtbl"), specs,
+        telemetry=sink,
+    )
     stats = engine.run()
-    return stats, per_kernel_done
+    return stats, sink.done
 
 
 def main() -> None:

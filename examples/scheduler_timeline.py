@@ -3,7 +3,7 @@
 ASCII occupancy heatmap.
 
 Runs one benchmark under SMX-Bind and Adaptive-Bind with an
-OccupancyTimeline observer attached, and renders resident-TB heatmaps per
+OccupancyTimeline telemetry sink attached, and renders resident-TB heatmaps per
 SMX over time: under SMX-Bind, the SMXs whose parents launched big
 nested families stay dark while others go blank; Adaptive-Bind's backup
 stealing fills the blanks.
@@ -23,9 +23,11 @@ from repro.gpu.engine import Engine
 
 
 def run_with_timeline(spec, scheduler_name, config):
-    engine = Engine(config, make_scheduler(scheduler_name), make_model("dtbl"), [spec])
     timeline = OccupancyTimeline(num_smx=config.num_smx)
-    engine.observers.append(timeline)
+    engine = Engine(
+        config, make_scheduler(scheduler_name), make_model("dtbl"), [spec],
+        telemetry=timeline,
+    )
     stats = engine.run()
     return stats, timeline
 

@@ -1,10 +1,13 @@
 """Execution timeline capture: per-SMX occupancy over time.
 
-``OccupancyTimeline`` is an engine observer (``engine.observers.append``)
-that records every TB dispatch/retire. After the run it can answer
-"how many TBs (or warps) were resident on SMX s at time t" and render an
-ASCII occupancy heatmap — the picture behind the paper's SMX-idling
-discussion (Fig 4(d)/(e)).
+``OccupancyTimeline`` is a :class:`~repro.telemetry.events.TelemetrySink`
+(pass it as ``Engine(..., telemetry=timeline)``, or as one leg of a
+:class:`~repro.telemetry.events.TeeSink`) that records every
+:class:`~repro.telemetry.events.TBDispatched` /
+:class:`~repro.telemetry.events.TBCompleted` event. After the run it can
+answer "how many TBs (or warps) were resident on SMX s at time t" and
+render an ASCII occupancy heatmap — the picture behind the paper's
+SMX-idling discussion (Fig 4(d)/(e)).
 """
 
 from __future__ import annotations
@@ -12,7 +15,12 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from repro.gpu.kernel import ThreadBlock
+from repro.telemetry.events import (
+    TBCompleted,
+    TBDispatched,
+    TelemetryEvent,
+    TelemetrySink,
+)
 
 _RAMP = " .:-=+*#%@"
 
@@ -27,17 +35,21 @@ class _Event:
 
 
 @dataclass
-class OccupancyTimeline:
+class OccupancyTimeline(TelemetrySink):
     """Collects dispatch/retire events; query or render after the run."""
 
     num_smx: int
     events: list[_Event] = field(default_factory=list)
 
-    def __call__(self, kind: str, tb: ThreadBlock, now: int) -> None:
-        sign = 1 if kind == "dispatch" else -1
-        self.events.append(
-            _Event(now, tb.smx_id, sign, sign * tb.body.num_warps, tb.is_dynamic)
-        )
+    def emit(self, event: TelemetryEvent) -> None:
+        if isinstance(event, TBDispatched):
+            self.events.append(
+                _Event(event.time, event.smx_id, 1, event.warps, event.is_dynamic)
+            )
+        elif isinstance(event, TBCompleted):
+            self.events.append(
+                _Event(event.time, event.smx_id, -1, -event.warps, event.is_dynamic)
+            )
 
     # ----- queries -------------------------------------------------------------
     def _sorted(self) -> list[_Event]:

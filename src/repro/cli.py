@@ -8,13 +8,18 @@
     repro compare bfs-citation              # all schedulers on one benchmark
     repro grid --jobs 4                     # Figures 7/8/9 (full evaluation)
     repro footprint                         # Figure 2 analysis
+    repro trace bfs-citation -o trace.json  # Chrome/Perfetto trace export
+    repro snapshot amr -o amr.json.gz       # save a workload spec for reuse
 
 Every command accepts ``--scale tiny|small|paper`` (default: small).
 ``run``, ``compare`` and ``grid`` go through the RunSpec execution layer
 (docs/harness.md): ``--jobs N`` fans simulations out over N worker
 processes and results are cached on disk by content (``--cache-dir``,
 default ``$REPRO_CACHE_DIR`` or ``.repro-cache``; ``--no-cache``
-disables).
+disables). ``trace`` runs one simulation with a
+:class:`~repro.telemetry.chrome_trace.ChromeTraceSink` attached and
+writes trace-event JSON for ``chrome://tracing`` / https://ui.perfetto.dev
+(docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -102,22 +107,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(executor.run_one(spec).summary())
         return 0
 
-    # the timeline needs an in-process engine with an observer attached,
-    # so it bypasses the executor (cached stats carry no event stream)
+    # the timeline needs an in-process engine with a telemetry sink
+    # attached, so it bypasses the executor (cached stats carry no
+    # event stream)
     from repro.analysis import OccupancyTimeline
-    from repro.core import make_scheduler
-    from repro.dynpar import make_model
-    from repro.gpu.engine import Engine
 
     workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
     config = experiment_config()
-    engine = Engine(
-        config, make_scheduler(args.scheduler), make_model(args.model), [workload.kernel()]
-    )
     timeline = OccupancyTimeline(num_smx=config.num_smx)
-    engine.observers.append(timeline)
-    stats = engine.run()
+    stats = simulate(
+        workload.kernel(), args.scheduler, args.model, config, telemetry=timeline
+    )
     print(stats.summary())
     print(timeline.render(samples=72))
     return 0
@@ -142,7 +143,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{scheduler:14s} IPC={stats.ipc:6.2f} ({stats.ipc / base:5.2f}x)  "
             f"L1={stats.l1_hit_rate:.3f}  L2={stats.l2_hit_rate:.3f}  "
             f"child wait={stats.child_mean_wait:7.0f}  "
-            f"co-located={stats.child_same_cluster_fraction:.2f}"
+            f"co-located={stats.child_same_cluster_fraction:.2f}  "
+            f"steals={stats.work_steals:4d}  "
+            f"gini={stats.busy_cycles_gini:.3f}"
         )
     return 0
 
@@ -173,7 +176,48 @@ def cmd_grid(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Generate a benchmark's trace once and save it for reuse."""
+    """Export one simulated run as Chrome/Perfetto trace-event JSON."""
+    from repro.telemetry import (
+        ChromeTraceSink,
+        MetricsSink,
+        TeeSink,
+        assert_valid_trace,
+    )
+
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    config = experiment_config()
+    trace_sink = ChromeTraceSink(num_smx=config.num_smx)
+    metrics = MetricsSink()
+    print(
+        f"tracing {workload.full_name} ({args.scale}) "
+        f"under {args.scheduler}/{args.model} ...",
+        file=sys.stderr,
+    )
+    stats = simulate(
+        workload.kernel(),
+        args.scheduler,
+        args.model,
+        config,
+        telemetry=TeeSink([trace_sink, metrics]),
+    )
+    trace = trace_sink.write(args.output)
+    assert_valid_trace(trace)
+    summary = metrics.summary(stats)
+    print(stats.summary())
+    print(
+        f"steals={summary['work_steals']}  "
+        f"busy-cycle gini={summary['busy_cycles_gini']:.3f}  "
+        f"queue high water={summary['queue_entry_high_water']}"
+    )
+    print(
+        f"wrote {args.output} ({len(trace['traceEvents'])} events; "
+        "open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Generate a benchmark's workload spec once and save it for reuse."""
     from repro.gpu.serialize import load_spec, save_spec
 
     if args.load:
@@ -182,6 +226,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         stats = simulate(spec, args.scheduler, args.model, experiment_config())
         print(stats.summary())
         return 0
+    if not args.benchmark:
+        raise ValueError("snapshot needs a benchmark name (or --load FILE)")
     workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     print(f"building {workload.full_name} ({args.scale}) ...", file=sys.stderr)
     save_spec(workload.kernel(), args.output)
@@ -198,7 +244,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
 
     config = experiment_config()
-    workload = load_benchmark("bfs-citation", scale=args.scale, seed=args.seed)
+    workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     print(f"validating against {workload.full_name} ({args.scale}) ...", file=sys.stderr)
     spec = workload.kernel()
     rr = simulate(spec, "rr", "dtbl", config)
@@ -291,15 +337,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(fp_p)
 
     val_p = sub.add_parser("validate", help="fast self-check of the paper's headline shapes")
+    val_p.add_argument(
+        "benchmark", nargs="?", default="bfs-citation",
+        help="benchmark to validate against (default: bfs-citation)",
+    )
     _add_scale(val_p)
 
-    tr_p = sub.add_parser("trace", help="save a benchmark trace, or simulate a saved one")
-    tr_p.add_argument("benchmark", nargs="?", choices=benchmark_names())
-    tr_p.add_argument("-o", "--output", default="trace.json.gz")
-    tr_p.add_argument("--load", help="simulate a previously saved trace file")
+    tr_p = sub.add_parser("trace", help="export one run as Chrome/Perfetto trace-event JSON")
+    tr_p.add_argument("benchmark", help="benchmark to trace (see 'repro list')")
     tr_p.add_argument("-s", "--scheduler", default="adaptive-bind")
     tr_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    tr_p.add_argument("-o", "--output", default="trace.json", metavar="FILE")
     _add_scale(tr_p)
+
+    snap_p = sub.add_parser(
+        "snapshot", help="save a benchmark workload spec, or simulate a saved one"
+    )
+    snap_p.add_argument("benchmark", nargs="?", choices=benchmark_names())
+    snap_p.add_argument("-o", "--output", default="trace.json.gz")
+    snap_p.add_argument("--load", help="simulate a previously saved spec file")
+    snap_p.add_argument("-s", "--scheduler", default="adaptive-bind")
+    snap_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    _add_scale(snap_p)
 
     return parser
 
@@ -313,12 +372,19 @@ COMMANDS = {
     "footprint": cmd_footprint,
     "validate": cmd_validate,
     "trace": cmd_trace,
+    "snapshot": cmd_snapshot,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except (ValueError, RuntimeError, OSError) as exc:
+        # unknown benchmark/scheduler, deadlocks, bad trace files, I/O:
+        # one line on stderr, non-zero exit, no traceback
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

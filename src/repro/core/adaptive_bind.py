@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.queues import Entry
 from repro.core.smx_bind import SMXBindScheduler
+from repro.telemetry.events import WorkStolen
 
 
 class AdaptiveBindScheduler(SMXBindScheduler):
@@ -34,13 +35,16 @@ class AdaptiveBindScheduler(SMXBindScheduler):
         super().attach(engine)
         self._backup = [None] * engine.config.num_smx
 
-    def _backup_candidate(self, smx_id: int) -> Optional[Entry]:
-        """Stage 3: TBs bound to another SMX, adopted by the current one."""
+    def _backup_candidate(self, smx_id: int) -> Optional[tuple[Entry, int]]:
+        """Stage 3: TBs bound to another SMX, adopted by the current one.
+
+        Returns ``(entry, victim_cluster)`` so the caller can attribute
+        the steal."""
         recorded = self._backup[smx_id] if self.fixed_backup else None
         if recorded is not None:
             entry = self._smx_queues[recorded].head()
             if entry is not None:
-                return entry
+                return entry, recorded
             self._backup[smx_id] = None
         # find and record the next non-empty queue set (a cluster's),
         # scanning from the current SMX's cluster onward so steals spread
@@ -52,14 +56,28 @@ class AdaptiveBindScheduler(SMXBindScheduler):
             entry = self._smx_queues[victim].head()
             if entry is not None and victim != own:
                 self._backup[smx_id] = victim
-                return entry
+                return entry, victim
         return None
 
-    def _candidate_for(self, smx_id: int) -> Optional[Entry]:
-        entry = super()._candidate_for(smx_id)  # stages 1-2
+    def _candidate_for(self, smx_id: int, now: int) -> Optional[Entry]:
+        entry = super()._candidate_for(smx_id, now)  # stages 1-2
         if entry is not None:
             return entry
-        entry = self._backup_candidate(smx_id)  # stage 3
-        if entry is not None:
-            self.steals += 1
+        adopted = self._backup_candidate(smx_id)  # stage 3
+        if adopted is None:
+            return None
+        entry, victim = adopted
+        self.steals += 1
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            tb = entry.peek()
+            telemetry.emit(
+                WorkStolen(
+                    time=now,
+                    thief_smx_id=smx_id,
+                    victim_cluster=victim,
+                    tb_id=tb.tb_id,
+                    priority=tb.priority,
+                )
+            )
         return entry

@@ -55,6 +55,12 @@ class TBScheduler(ABC):
     def has_pending(self) -> bool:
         """Whether any dispatchable TB is waiting in the scheduler."""
 
+    @property
+    def queue_high_water(self) -> int:
+        """Most entries any of this policy's queue sets ever held
+        (0 for policies without accounted queues)."""
+        return 0
+
     # ----- helpers -----------------------------------------------------------
     def _place(self, tb: ThreadBlock, smx: "SMX", now: int, *, delay: int = 0) -> ThreadBlock:
         smx.place(tb, now, start_delay=delay)

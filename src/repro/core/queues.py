@@ -15,7 +15,7 @@ dispatch. The queue tracks this accounting when given a ``capacity``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.gpu.kernel import ThreadBlock
 
@@ -74,8 +74,11 @@ class MultiLevelQueue:
         self.onchip_entries = 0
         self.overflow_events = 0
         self.entry_high_water = 0
+        #: invoked as ``on_overflow(entry, now)`` when a push exceeds the
+        #: on-chip capacity; schedulers wire this to the telemetry bus
+        self.on_overflow: Optional[Callable[[Entry, int], None]] = None
 
-    def push(self, entry: Entry) -> None:
+    def push(self, entry: Entry, now: int = 0) -> None:
         level = min(entry.level, self.max_level)
         if self.capacity is not None:
             if self.onchip_entries < self.capacity:
@@ -83,6 +86,8 @@ class MultiLevelQueue:
             else:
                 entry.overflow = True
                 self.overflow_events += 1
+                if self.on_overflow is not None:
+                    self.on_overflow(entry, now)
         self._levels[level].append(entry)
         self.entry_high_water = max(self.entry_high_water, self.total_entries)
 

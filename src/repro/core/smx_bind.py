@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from repro.core.base import TBScheduler
 from repro.core.queues import Entry, MultiLevelQueue
 from repro.gpu.kernel import Kernel, ThreadBlock
+from repro.telemetry.events import QueueOverflow
 
 
 class SMXBindScheduler(TBScheduler):
@@ -52,6 +53,19 @@ class SMXBindScheduler(TBScheduler):
             MultiLevelQueue(config.max_priority_levels, capacity=capacity)
             for _ in range(config.num_clusters)
         ]
+        telemetry = engine.telemetry
+        if telemetry.enabled:
+            for cluster, queue in enumerate(self._smx_queues):
+                queue.on_overflow = (
+                    lambda entry, now, _c=cluster, _q=queue: telemetry.emit(
+                        QueueOverflow(
+                            time=now,
+                            cluster=_c,
+                            level=entry.level,
+                            total_entries=_q.total_entries + 1,
+                        )
+                    )
+                )
 
     # ----- queue maintenance -------------------------------------------------
     def _bind_cluster(self, parent: Optional[ThreadBlock]) -> int:
@@ -64,11 +78,11 @@ class SMXBindScheduler(TBScheduler):
             self._global.append(Entry(list(kernel.tbs), 0))
         else:
             cluster = self._bind_cluster(kernel.parent)
-            self._smx_queues[cluster].push(Entry(list(kernel.tbs), kernel.priority))
+            self._smx_queues[cluster].push(Entry(list(kernel.tbs), kernel.priority), now)
 
     def on_tb_group(self, kernel: Kernel, tbs: Sequence[ThreadBlock], now: int) -> None:
         cluster = self._bind_cluster(tbs[0].parent)
-        self._smx_queues[cluster].push(Entry(tbs, tbs[0].priority))
+        self._smx_queues[cluster].push(Entry(tbs, tbs[0].priority), now)
 
     def _global_head(self) -> Optional[Entry]:
         while self._global and self._global[0].empty:
@@ -76,7 +90,7 @@ class SMXBindScheduler(TBScheduler):
         return self._global[0] if self._global else None
 
     # ----- dispatch ------------------------------------------------------------
-    def _candidate_for(self, smx_id: int) -> Optional[Entry]:
+    def _candidate_for(self, smx_id: int, now: int) -> Optional[Entry]:
         """Stages 1-2 of the LaPerm flow for the current SMX."""
         entry = self._smx_queues[self.engine.config.cluster_of(smx_id)].head()
         if entry is not None:
@@ -100,7 +114,7 @@ class SMXBindScheduler(TBScheduler):
             smx = self.engine.smxs[smx_id]
             if smx.free_tb_slots == 0:
                 continue
-            entry = self._candidate_for(smx_id)
+            entry = self._candidate_for(smx_id, now)
             if entry is None:
                 continue
             tb = entry.peek()
@@ -111,6 +125,10 @@ class SMXBindScheduler(TBScheduler):
             self._smx_ptr = smx_id
             return self._place(tb, smx, now, delay=delay)
         return None
+
+    @property
+    def queue_high_water(self) -> int:
+        return max((q.entry_high_water for q in self._smx_queues), default=0)
 
     @property
     def overflow_events(self) -> int:  # type: ignore[override]

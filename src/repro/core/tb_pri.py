@@ -31,13 +31,17 @@ class TBPriScheduler(TBScheduler):
         self._queue = MultiLevelQueue(engine.config.max_priority_levels)
 
     def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
-        self._queue.push(Entry(list(kernel.tbs), kernel.priority))
+        self._queue.push(Entry(list(kernel.tbs), kernel.priority), now)
 
     def on_tb_group(self, kernel: Kernel, tbs: Sequence[ThreadBlock], now: int) -> None:
-        self._queue.push(Entry(tbs, tbs[0].priority))
+        self._queue.push(Entry(tbs, tbs[0].priority), now)
 
     def has_pending(self) -> bool:
         return self._queue.head() is not None
+
+    @property
+    def queue_high_water(self) -> int:
+        return self._queue.entry_high_water if self._queue is not None else 0
 
     def dispatch(self, now: int) -> Optional[ThreadBlock]:
         entry = self._queue.head()

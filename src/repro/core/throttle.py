@@ -76,6 +76,15 @@ class ThrottledScheduler(TBScheduler):
     def overflow_events(self, value: int) -> None:
         pass  # the inner scheduler's counters are authoritative
 
+    @property
+    def queue_high_water(self) -> int:
+        return self.inner.queue_high_water
+
+    @property
+    def steals(self) -> int:
+        """Stage-3 adoptions of the wrapped policy (0 if it never steals)."""
+        return getattr(self.inner, "steals", 0)
+
     # ----- throttling ------------------------------------------------------------
     def _adjust_caps(self) -> None:
         engine = self.engine

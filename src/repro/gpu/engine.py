@@ -29,6 +29,15 @@ from repro.gpu.smx import SMX
 from repro.gpu.stats import SimStats
 from repro.gpu.trace import LaunchSpec
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.telemetry.events import (
+    NULL_SINK,
+    CacheSample,
+    ChildLaunched,
+    KernelDispatched,
+    TBCompleted,
+    TBDispatched,
+    TelemetrySink,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import TBScheduler
@@ -52,6 +61,8 @@ class Engine:
         host_kernels: Sequence[KernelSpec],
         *,
         max_cycles: Optional[int] = None,
+        telemetry: TelemetrySink = NULL_SINK,
+        telemetry_sample_interval: int = 2048,
     ) -> None:
         if not host_kernels:
             raise ValueError("need at least one host kernel")
@@ -70,9 +81,13 @@ class Engine:
         self._retire_seq = itertools.count()
         self._live_tbs = 0
         self._finished = False
-        # observers receive (event, tb, cycle) for "dispatch" and "retire";
-        # used by analysis tools (e.g. the occupancy timeline)
-        self.observers: list = []
+        # telemetry sink (docs/telemetry.md): every emit site guards on
+        # `telemetry.enabled` before constructing the event, so the
+        # default NULL_SINK costs one attribute read per site
+        self.telemetry = telemetry
+        if telemetry_sample_interval < 1:
+            raise ValueError("telemetry_sample_interval must be positive")
+        self._sample_interval = telemetry_sample_interval
 
         scheduler.attach(self)
         dynpar.attach(self)
@@ -92,11 +107,32 @@ class Engine:
         self._live_tbs += len(tbs)
 
     def _on_kernel_admitted(self, kernel: Kernel, now: int) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                KernelDispatched(
+                    time=now,
+                    kernel_id=kernel.kernel_id,
+                    kernel=kernel.name,
+                    priority=kernel.priority,
+                    num_tbs=kernel.num_tbs,
+                    is_device=kernel.is_device_kernel,
+                )
+            )
         self.scheduler.on_kernel_arrival(kernel, now)
 
     def handle_launch(self, parent_tb: ThreadBlock, spec: LaunchSpec, now: int) -> None:
         """A LAUNCH instruction executed on an SMX."""
         self.stats.launches += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                ChildLaunched(
+                    time=now,
+                    smx_id=parent_tb.smx_id,
+                    parent_tb_id=parent_tb.tb_id,
+                    kernel=spec.name,
+                    num_tbs=len(spec.bodies),
+                )
+            )
         self.dynpar.queue_launch(parent_tb, spec, now)
 
     def schedule_retire(self, tb: ThreadBlock, time: int) -> None:
@@ -105,8 +141,22 @@ class Engine:
 
     def record_dispatch(self, tb: ThreadBlock, now: int) -> None:
         """Called by schedulers after placing a TB (statistics)."""
-        for observer in self.observers:
-            observer("dispatch", tb, now)
+        if self.telemetry.enabled:
+            parent = tb.parent
+            self.telemetry.emit(
+                TBDispatched(
+                    time=now,
+                    smx_id=tb.smx_id,
+                    tb_id=tb.tb_id,
+                    kernel_id=tb.kernel.kernel_id,
+                    kernel=tb.kernel.name,
+                    priority=tb.priority,
+                    warps=tb.body.num_warps,
+                    is_dynamic=tb.is_dynamic,
+                    parent_smx_id=parent.smx_id if parent is not None else None,
+                    wait_cycles=now - tb.created_at,
+                )
+            )
         self.stats.tbs_dispatched += 1
         if tb.is_dynamic:
             self.stats.child_tbs_dispatched += 1
@@ -128,8 +178,19 @@ class Engine:
             smx.release(tb)
             tb.state = TBState.DONE
             tb.retired_at = time
-            for observer in self.observers:
-                observer("retire", tb, time)
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    TBCompleted(
+                        time=time,
+                        smx_id=tb.smx_id,
+                        tb_id=tb.tb_id,
+                        kernel_id=tb.kernel.kernel_id,
+                        kernel=tb.kernel.name,
+                        warps=tb.body.num_warps,
+                        is_dynamic=tb.is_dynamic,
+                        dispatched_at=tb.dispatched_at,
+                    )
+                )
             kernel = tb.kernel
             kernel.retired_tbs += 1
             self._live_tbs -= 1
@@ -157,6 +218,18 @@ class Engine:
             candidates.append(smx.next_event_time(now))
         return min(candidates) if candidates else _INFINITY
 
+    def _emit_sample(self, now: int) -> None:
+        resident = sum(len(smx.resident_tbs) for smx in self.smxs)
+        self.telemetry.emit(
+            CacheSample(
+                time=now,
+                l1_hit_rate=self.memory.l1_hit_rate,
+                l2_hit_rate=self.memory.l2_hit_rate,
+                queued_tbs=self._live_tbs - resident,
+                resident_tbs=resident,
+            )
+        )
+
     def run(self) -> SimStats:
         """Run to completion and return the statistics."""
         if self._finished:
@@ -166,7 +239,12 @@ class Engine:
         # sight: bounded, or a TB that fits nowhere would spin forever
         stall_budget = 4 * len(self.smxs) + 16
         stalled = 0
+        sampling = self.telemetry.enabled
+        next_sample = now
         while self._work_remaining():
+            if sampling and now >= next_sample:
+                self._emit_sample(now)
+                next_sample = now + self._sample_interval
             self.dynpar.deliver_due(now)
             retired = self._retire_due(now)
             placed = self.scheduler.dispatch(now) is not None
@@ -205,6 +283,9 @@ class Engine:
                 raise RuntimeError(f"exceeded max_cycles={self.max_cycles}")
         self.now = now
         self._finished = True
+        if sampling:
+            self._emit_sample(now)  # final machine state closes counter tracks
+            self.telemetry.close()
         return self._collect_stats()
 
     # ----- results -----------------------------------------------------------
@@ -224,6 +305,8 @@ class Engine:
         stats.per_smx_busy_cycles = [s.issue_cycles for s in self.smxs]
         stats.per_smx_tbs = [s.tbs_executed for s in self.smxs]
         stats.scheduler_overflow_events = self.scheduler.overflow_events
+        stats.work_steals = getattr(self.scheduler, "steals", 0)
+        stats.scheduler_queue_high_water = self.scheduler.queue_high_water
         stats.kdu_high_water = self.kdu.high_water
         stats.kmu_pending_high_water = self.kmu.pending_high_water
         return stats

@@ -17,6 +17,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import TBState, ThreadBlock
 from repro.gpu.trace import Instr, Op
+from repro.telemetry.events import WarpStall
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.engine import Engine
@@ -187,6 +188,16 @@ class SMX:
                 # warp until its slowest outstanding load returns
                 if self._current is warp:
                     self._current = None
+                telemetry = engine.telemetry
+                if telemetry.enabled:
+                    telemetry.emit(
+                        WarpStall(
+                            time=now,
+                            smx_id=self.smx_id,
+                            tb_id=warp.tb.tb_id,
+                            cycles=warp.outstanding - now,
+                        )
+                    )
                 warp.ready_at = warp.outstanding
                 self._park(warp, warp.outstanding, now)
                 continue

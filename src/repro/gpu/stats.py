@@ -42,6 +42,10 @@ class SimStats:
     per_smx_tbs: list[int] = field(default_factory=list)
 
     scheduler_overflow_events: int = 0
+    #: Adaptive-Bind stage-3 backup adoptions (0 for non-stealing policies)
+    work_steals: int = 0
+    #: most entries any scheduler priority-queue set ever held
+    scheduler_queue_high_water: int = 0
     kdu_high_water: int = 0
     kmu_pending_high_water: int = 0
 
@@ -88,6 +92,18 @@ class SimStats:
         if mean == 0:
             return 0.0
         return pstdev(self.per_smx_instructions) / mean
+
+    @property
+    def busy_cycles_gini(self) -> float:
+        """Gini coefficient of per-SMX busy cycles (0 = perfectly even).
+
+        The load-imbalance axis of Section IV-B/C: SMX-Bind concentrates
+        dynamic families on their parents' SMXs (high Gini) and
+        Adaptive-Bind's stealing flattens the distribution again.
+        """
+        from repro.telemetry.metrics import gini
+
+        return gini(self.per_smx_busy_cycles)
 
     @property
     def smx_utilization(self) -> float:

@@ -47,12 +47,15 @@ from repro.gpu.serialize import (
 )
 from repro.gpu.stats import SimStats
 from repro.harness.cache import ResultCache
+from repro.telemetry.events import NULL_SINK, TelemetrySink
+from repro.telemetry.metrics import MetricsSink
 
 #: Version of the simulation semantics. Bump whenever an engine,
 #: scheduler, memory-model or workload-generation change can alter the
 #: stats a RunSpec produces: it enters every cache key, so all previously
 #: stored results go cold (never wrong) without manual cleanup.
-ENGINE_VERSION = 1
+#: 2: SimStats gained work_steals / scheduler_queue_high_water.
+ENGINE_VERSION = 2
 
 #: Default cycle budget, matching the historical harness default.
 DEFAULT_MAX_CYCLES = 500_000_000
@@ -224,7 +227,7 @@ def kernel_for(benchmark: str, scale: str, seed: int) -> KernelSpec:
     return spec
 
 
-def run_spec(spec: RunSpec) -> SimStats:
+def run_spec(spec: RunSpec, telemetry: TelemetrySink = NULL_SINK) -> SimStats:
     """Simulate one RunSpec in this process (no caching, no dedup)."""
     engine = Engine(
         spec.gpu_config(),
@@ -232,13 +235,30 @@ def run_spec(spec: RunSpec) -> SimStats:
         make_model(spec.model),
         [kernel_for(spec.benchmark, spec.scale, spec.seed)],
         max_cycles=spec.max_cycles,
+        telemetry=telemetry,
     )
     return engine.run()
 
 
+def run_spec_with_summary(spec: RunSpec) -> tuple[SimStats, dict]:
+    """Simulate one RunSpec with a :class:`MetricsSink` attached and
+    return ``(stats, telemetry summary dict)``.
+
+    Telemetry is a pure observer: the stats are byte-identical to a
+    :func:`run_spec` run (the determinism tests pin this).
+    """
+    sink = MetricsSink()
+    stats = run_spec(spec, telemetry=sink)
+    return stats, sink.summary(stats)
+
+
 def _worker_run(payload: dict) -> dict:
     """Process-pool entry point: plain dict in, plain dict out."""
-    return stats_to_obj(run_spec(RunSpec.from_dict(payload)))
+    spec = RunSpec.from_dict(payload["spec"])
+    if payload["collect_telemetry"]:
+        stats, summary = run_spec_with_summary(spec)
+        return {"stats": stats_to_obj(stats), "telemetry": summary}
+    return {"stats": stats_to_obj(run_spec(spec)), "telemetry": None}
 
 
 # --- executors ----------------------------------------------------------------
@@ -251,10 +271,27 @@ class Executor:
     answers what it can from the cache, executes the misses (strategy
     supplied by subclasses) and stores fresh results back. ``hits`` /
     ``misses`` count cache outcomes across the executor's lifetime.
+
+    With ``collect_telemetry=True`` every executed run carries a
+    :class:`~repro.telemetry.metrics.MetricsSink`; its summary dict is
+    kept in ``self.telemetry`` (query with :meth:`telemetry_for`) and
+    stored in cache records under an optional ``"telemetry"`` key. The
+    key is *not* part of :meth:`RunSpec.cache_key`, so records written
+    with and without telemetry address the same content: a cached stats
+    record stays valid either way, and a hit on a summary-free record
+    simply yields no summary (never a re-run).
     """
 
-    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        collect_telemetry: bool = False,
+    ) -> None:
         self.cache = cache
+        self.collect_telemetry = collect_telemetry
+        #: telemetry summaries by spec (only populated when collecting)
+        self.telemetry: dict[RunSpec, dict] = {}
         self.hits = 0
         self.misses = 0
 
@@ -278,6 +315,10 @@ class Executor:
     def run_one(self, spec: RunSpec) -> SimStats:
         return self.run([spec])[spec]
 
+    def telemetry_for(self, spec: RunSpec) -> Optional[dict]:
+        """The telemetry summary of an executed/cached spec, if any."""
+        return self.telemetry.get(spec)
+
     # -- caching ---------------------------------------------------------------
     def _cache_get(self, spec: RunSpec) -> Optional[SimStats]:
         if self.cache is None:
@@ -296,20 +337,24 @@ class Executor:
         except (TypeError, ValueError):
             self.misses += 1
             return None
+        summary = record.get("telemetry")
+        if isinstance(summary, dict):
+            self.telemetry[spec] = summary
         self.hits += 1
         return stats
 
     def _cache_put(self, spec: RunSpec, stats: SimStats) -> None:
         if self.cache is None:
             return
-        self.cache.store(
-            spec.cache_key(),
-            {
-                "engine_version": ENGINE_VERSION,
-                "spec": spec.to_dict(),
-                "stats": stats_to_obj(stats),
-            },
-        )
+        record = {
+            "engine_version": ENGINE_VERSION,
+            "spec": spec.to_dict(),
+            "stats": stats_to_obj(stats),
+        }
+        summary = self.telemetry.get(spec)
+        if summary is not None:
+            record["telemetry"] = summary
+        self.cache.store(spec.cache_key(), record)
 
     # -- execution strategy ----------------------------------------------------
     def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
@@ -320,7 +365,15 @@ class SerialExecutor(Executor):
     """Runs every simulation in the calling process, one after another."""
 
     def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
-        return [run_spec(spec) for spec in specs]
+        out: list[SimStats] = []
+        for spec in specs:
+            if self.collect_telemetry:
+                stats, summary = run_spec_with_summary(spec)
+                self.telemetry[spec] = summary
+            else:
+                stats = run_spec(spec)
+            out.append(stats)
+        return out
 
 
 class ParallelExecutor(Executor):
@@ -333,23 +386,39 @@ class ParallelExecutor(Executor):
     output is deterministic regardless of scheduling.
     """
 
-    def __init__(self, jobs: int, cache: Optional[ResultCache] = None) -> None:
-        super().__init__(cache)
+    def __init__(
+        self,
+        jobs: int,
+        cache: Optional[ResultCache] = None,
+        *,
+        collect_telemetry: bool = False,
+    ) -> None:
+        super().__init__(cache, collect_telemetry=collect_telemetry)
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
 
     def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
         if len(specs) == 1 or self.jobs == 1:
-            return [run_spec(spec) for spec in specs]
+            return SerialExecutor._execute(self, specs)
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
-            payloads = [spec.to_dict() for spec in specs]
-            return [stats_from_obj(obj) for obj in pool.map(_worker_run, payloads)]
+            payloads = [
+                {"spec": spec.to_dict(), "collect_telemetry": self.collect_telemetry}
+                for spec in specs
+            ]
+            out: list[SimStats] = []
+            for spec, obj in zip(specs, pool.map(_worker_run, payloads)):
+                if obj["telemetry"] is not None:
+                    self.telemetry[spec] = obj["telemetry"]
+                out.append(stats_from_obj(obj["stats"]))
+            return out
 
 
 def make_executor(
     jobs: int = 1,
     cache: Optional[ResultCache | str] = None,
+    *,
+    collect_telemetry: bool = False,
 ) -> Executor:
     """Executor factory: ``jobs<=1`` serial, else a ``jobs``-wide pool.
 
@@ -358,4 +427,6 @@ def make_executor(
     """
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
         cache = ResultCache(cache)
-    return SerialExecutor(cache) if jobs <= 1 else ParallelExecutor(jobs, cache)
+    if jobs <= 1:
+        return SerialExecutor(cache, collect_telemetry=collect_telemetry)
+    return ParallelExecutor(jobs, cache, collect_telemetry=collect_telemetry)

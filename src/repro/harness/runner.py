@@ -31,6 +31,7 @@ from repro.harness.execution import (
     seed_kernel_cache,
 )
 from repro.harness.registry import experiment_config, iter_benchmarks
+from repro.telemetry.events import NULL_SINK, TelemetrySink
 from repro.workloads import Workload
 
 DEFAULT_MODELS = ("cdp", "dtbl")
@@ -47,8 +48,14 @@ def simulate(
     config: Optional[GPUConfig] = None,
     *,
     max_cycles: Optional[int] = 500_000_000,
+    telemetry: TelemetrySink = NULL_SINK,
 ) -> SimStats:
-    """Run one kernel under one scheduler and launch model."""
+    """Run one kernel under one scheduler and launch model.
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.events.TelemetrySink`
+    (e.g. a :class:`~repro.telemetry.chrome_trace.ChromeTraceSink`) to the
+    engine; the default null sink records nothing and costs nothing.
+    """
     config = config or experiment_config()
     engine = Engine(
         config,
@@ -56,6 +63,7 @@ def simulate(
         make_model(model),
         [spec],
         max_cycles=max_cycles,
+        telemetry=telemetry,
     )
     return engine.run()
 

@@ -1,0 +1,67 @@
+"""Simulator observability: typed events, metrics, Chrome-trace export.
+
+See docs/telemetry.md for the event taxonomy, the sink API and a
+walkthrough of loading an exported trace in Perfetto.
+"""
+
+from repro.telemetry.chrome_trace import (
+    ChromeTraceSink,
+    TraceValidationError,
+    assert_valid_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    NULL_SINK,
+    CacheSample,
+    ChildLaunched,
+    KernelDispatched,
+    NullSink,
+    QueueOverflow,
+    RecordingSink,
+    TBCompleted,
+    TBDispatched,
+    TeeSink,
+    TelemetryEvent,
+    TelemetrySink,
+    WarpStall,
+    WorkStolen,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    gini,
+)
+
+__all__ = [
+    "CacheSample",
+    "ChildLaunched",
+    "ChromeTraceSink",
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "KernelDispatched",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NULL_SINK",
+    "NullSink",
+    "QueueOverflow",
+    "RecordingSink",
+    "TBCompleted",
+    "TBDispatched",
+    "TeeSink",
+    "TelemetryEvent",
+    "TelemetrySink",
+    "TraceValidationError",
+    "WarpStall",
+    "WorkStolen",
+    "assert_valid_trace",
+    "gini",
+    "validate_trace",
+    "write_trace",
+]

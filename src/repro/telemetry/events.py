@@ -1,0 +1,229 @@
+"""Typed telemetry event bus.
+
+Every observable simulator occurrence is a small frozen dataclass with a
+``time`` field (the engine cycle it happened at). Producers — the engine,
+the SMXs, the schedulers and their queues — hand events to a single
+:class:`TelemetrySink` attached to the engine. Consumers subclass the
+sink: :class:`~repro.telemetry.metrics.MetricsSink` aggregates,
+:class:`~repro.telemetry.chrome_trace.ChromeTraceSink` exports, and
+:class:`~repro.analysis.timeline.OccupancyTimeline` renders.
+
+The bus is built for a simulator hot loop:
+
+* :data:`NULL_SINK` (the default) has ``enabled = False``; every emit
+  site guards on that flag *before constructing the event object*, so a
+  run without telemetry pays one attribute read per site and allocates
+  nothing. Determinism tests pin that a ``NullSink`` run produces
+  byte-identical :class:`~repro.gpu.stats.SimStats`.
+* Events are frozen (immutable, hashable, ``slots``-backed): a sink may
+  retain them forever without copying, and no consumer can perturb the
+  simulation by mutating one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Type, TypeVar
+
+
+# --------------------------------------------------------------------------
+# event taxonomy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TBDispatched:
+    """The dispatch stage placed one thread block on one SMX."""
+
+    time: int
+    smx_id: int
+    tb_id: int
+    kernel_id: int
+    kernel: str
+    priority: int
+    warps: int
+    is_dynamic: bool
+    #: SMX of the direct parent TB (None for host-launched TBs)
+    parent_smx_id: Optional[int]
+    #: cycles from becoming schedulable to dispatch (0 for host TBs)
+    wait_cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class TBCompleted:
+    """A thread block's last warp finished; its SMX resources freed."""
+
+    time: int
+    smx_id: int
+    tb_id: int
+    kernel_id: int
+    kernel: str
+    warps: int
+    is_dynamic: bool
+    #: cycle the TB was dispatched at (slice start for trace export)
+    dispatched_at: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChildLaunched:
+    """An SMX executed a device-side LAUNCH instruction."""
+
+    time: int
+    smx_id: int
+    parent_tb_id: int
+    kernel: str
+    num_tbs: int
+
+
+@dataclass(frozen=True, slots=True)
+class KernelDispatched:
+    """The KMU admitted a kernel into the KDU (it became schedulable)."""
+
+    time: int
+    kernel_id: int
+    kernel: str
+    priority: int
+    num_tbs: int
+    is_device: bool
+
+
+@dataclass(frozen=True, slots=True)
+class WorkStolen:
+    """Adaptive-Bind stage 3: an idle SMX adopted another cluster's queue."""
+
+    time: int
+    thief_smx_id: int
+    victim_cluster: int
+    tb_id: int
+    priority: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueueOverflow:
+    """A priority-queue push exceeded the on-chip SRAM capacity."""
+
+    time: int
+    cluster: int
+    level: int
+    total_entries: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheSample:
+    """Periodic machine-state sample (cumulative rates and queue depth)."""
+
+    time: int
+    l1_hit_rate: float
+    l2_hit_rate: float
+    #: created-but-not-yet-running TBs (scheduler queues + KMU backlog)
+    queued_tbs: int
+    #: TBs currently resident across all SMXs
+    resident_tbs: int
+
+
+@dataclass(frozen=True, slots=True)
+class WarpStall:
+    """A warp parked on a load-use dependency (memory stall)."""
+
+    time: int
+    smx_id: int
+    tb_id: int
+    cycles: int
+
+
+#: every event type, in taxonomy order (docs and schema tests iterate this)
+EVENT_TYPES: tuple[type, ...] = (
+    TBDispatched,
+    TBCompleted,
+    ChildLaunched,
+    KernelDispatched,
+    WorkStolen,
+    QueueOverflow,
+    CacheSample,
+    WarpStall,
+)
+
+TelemetryEvent = (
+    TBDispatched
+    | TBCompleted
+    | ChildLaunched
+    | KernelDispatched
+    | WorkStolen
+    | QueueOverflow
+    | CacheSample
+    | WarpStall
+)
+
+E = TypeVar("E")
+
+
+# --------------------------------------------------------------------------
+# sinks
+# --------------------------------------------------------------------------
+
+
+class TelemetrySink:
+    """Receives telemetry events; subclass and override :meth:`emit`.
+
+    ``enabled`` is the producer-side fast-path flag: emit sites check it
+    before *constructing* the event, so a disabled sink costs one
+    attribute read per site and zero allocations.
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: TelemetryEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush any buffered state (no-op by default)."""
+
+
+class NullSink(TelemetrySink):
+    """The disabled sink: producers skip event construction entirely."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:  # pragma: no cover - never called
+        pass
+
+
+#: shared default sink; ``Engine`` uses this when no telemetry is attached
+NULL_SINK = NullSink()
+
+
+class RecordingSink(TelemetrySink):
+    """Buffers every event in order (the simplest real consumer)."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: Type[E]) -> list[E]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if type(e) is event_type]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self.events)
+
+
+class TeeSink(TelemetrySink):
+    """Fans every event out to several sinks (disabled ones are dropped
+    at construction, so a tee of null sinks is itself disabled)."""
+
+    def __init__(self, sinks: Iterable[TelemetrySink]) -> None:
+        self.sinks = [s for s in sinks if s.enabled]
+        self.enabled = bool(self.sinks)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

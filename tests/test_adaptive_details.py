@@ -53,7 +53,7 @@ class TestStageOrdering:
         own = make_entry()
         scheduler._smx_queues[0].push(own)
         scheduler._global.append(make_entry(level=0))
-        assert scheduler._candidate_for(0) is own
+        assert scheduler._candidate_for(0, 0) is own
 
     def test_global_beats_backup(self):
         scheduler = AdaptiveBindScheduler()
@@ -61,14 +61,14 @@ class TestStageOrdering:
         host = make_entry(level=0)
         scheduler._global.append(host)
         scheduler._smx_queues[1].push(make_entry())
-        assert scheduler._candidate_for(0) is host
+        assert scheduler._candidate_for(0, 0) is host
 
     def test_backup_used_when_all_else_empty(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         victim_entry = make_entry()
         scheduler._smx_queues[2].push(victim_entry)
-        assert scheduler._candidate_for(0) is victim_entry
+        assert scheduler._candidate_for(0, 0) is victim_entry
         assert scheduler.steals == 1
 
 
@@ -78,14 +78,14 @@ class TestBackupRecording:
         attach_scheduler(scheduler)
         first = make_entry(n=1)
         scheduler._smx_queues[1].push(first)
-        assert scheduler._backup_candidate(0) is first
+        assert scheduler._backup_candidate(0) == (first, 1)
         assert scheduler._backup[0] == 1
         # a nearer victim (in scan order) appears, but the recorded backup
         # still has work after a new entry arrives on it
         second = make_entry(n=1)
         scheduler._smx_queues[1].push(second)
         scheduler._smx_queues[2].push(make_entry(n=1))
-        assert scheduler._backup_candidate(0) is first
+        assert scheduler._backup_candidate(0) == (first, 1)
 
     def test_backup_cleared_when_drained(self):
         scheduler = AdaptiveBindScheduler()
@@ -96,7 +96,7 @@ class TestBackupRecording:
         entry.pop()  # drain the victim
         other = make_entry(n=1)
         scheduler._smx_queues[2].push(other)
-        assert scheduler._backup_candidate(0) is other
+        assert scheduler._backup_candidate(0) == (other, 2)
         assert scheduler._backup[0] == 2
 
     def test_rescan_mode_ignores_recording(self):

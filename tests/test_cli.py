@@ -82,12 +82,58 @@ class TestNewCommands:
     def test_validate_parser(self):
         args = build_parser().parse_args(["validate", "--scale", "small"])
         assert args.scale == "small"
+        assert args.benchmark == "bfs-citation"
 
 
 class TestTraceCommand:
+    def test_trace_writes_valid_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.harness.registry import experiment_config
+        from repro.telemetry import validate_trace
+
+        path = str(tmp_path / "t.json")
+        assert main(["trace", "bfs-citation", "--scale", "tiny", "-o", path]) == 0
+        out = capsys.readouterr().out
+        assert "steals=" in out and "wrote" in out
+        trace = json.loads(open(path).read())
+        assert validate_trace(trace) == []
+        slice_tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert slice_tids == set(range(experiment_config().num_smx))
+
+    def test_trace_scheduler_flag(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "rr.json")
+        assert main(["trace", "amr", "--scale", "tiny", "-s", "rr", "-o", path]) == 0
+        trace = json.loads(open(path).read())
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert not any(n == "steal" for n in names)  # rr never steals
+
+
+class TestSnapshotCommand:
     def test_save_and_load_roundtrip(self, capsys, tmp_path):
         path = str(tmp_path / "t.json.gz")
-        assert main(["trace", "amr", "--scale", "tiny", "-o", path]) == 0
-        assert main(["trace", "--load", path]) == 0
+        assert main(["snapshot", "amr", "--scale", "tiny", "-o", path]) == 0
+        assert main(["snapshot", "--load", path]) == 0
         out = capsys.readouterr().out
         assert "ipc=" in out
+
+
+class TestErrorExits:
+    def test_trace_unknown_benchmark_one_line_error(self, capsys):
+        code = main(["trace", "no-such-benchmark"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "repro: error: unknown benchmark 'no-such-benchmark'"
+        assert "Traceback" not in captured.err
+
+    def test_validate_unknown_benchmark_one_line_error(self, capsys):
+        code = main(["validate", "no-such-benchmark", "--scale", "tiny"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.strip().startswith("repro: error: unknown benchmark")
+
+    def test_snapshot_without_benchmark(self, capsys):
+        assert main(["snapshot"]) == 2
+        assert "repro: error:" in capsys.readouterr().err

@@ -1,4 +1,4 @@
-"""Additional coverage: CLI export flag, observer fan-out, KMU stress,
+"""Additional coverage: CLI export flag, telemetry fan-out, KMU stress,
 timeline rendering options, and misc API edges."""
 
 import json
@@ -52,20 +52,23 @@ class TestCliExport:
         assert len(lines) == 5  # header + 4 schedulers
 
 
-class TestObserverFanout:
-    def test_multiple_observers_see_every_event(self):
+class TestTelemetryFanout:
+    def test_tee_sinks_see_every_event(self):
+        from repro.telemetry import RecordingSink, TBCompleted, TBDispatched, TeeSink
+
         spec = KernelSpec(
             name="obs",
             bodies=[TBBody(warps=[[compute(5)]]) for _ in range(4)],
             resources=ResourceReq(threads=32, regs_per_thread=8),
         )
-        engine = Engine(small_config(), make_scheduler("rr"), make_model("dtbl"), [spec])
-        a, b = [], []
-        engine.observers.append(lambda kind, tb, now: a.append(kind))
-        engine.observers.append(lambda kind, tb, now: b.append(kind))
+        a, b = RecordingSink(), RecordingSink()
+        engine = Engine(
+            small_config(), make_scheduler("rr"), make_model("dtbl"), [spec],
+            telemetry=TeeSink([a, b]),
+        )
         engine.run()
-        assert a == b
-        assert a.count("dispatch") == a.count("retire") == 4
+        assert a.events == b.events
+        assert len(a.of_type(TBDispatched)) == len(a.of_type(TBCompleted)) == 4
 
 
 class TestKMUStress:
@@ -100,14 +103,15 @@ class TestKMUStress:
 
 class TestTimelineRendering:
     def test_render_with_explicit_peak(self):
+        from repro.telemetry import TBDispatched
+
         tl = OccupancyTimeline(num_smx=1)
-
-        class T:
-            smx_id = 0
-            is_dynamic = False
-            body = type("B", (), {"num_warps": 1})()
-
-        tl("dispatch", T(), 0)
+        tl.emit(
+            TBDispatched(
+                time=0, smx_id=0, tb_id=0, kernel_id=0, kernel="k", priority=0,
+                warps=1, is_dynamic=False, parent_smx_id=None, wait_cycles=0,
+            )
+        )
         text = tl.render(samples=10, max_tbs=4)
         assert "'@' = 4" in text
 

@@ -7,6 +7,7 @@ from repro.gpu.kernel import Kernel, KernelSpec, ResourceReq
 from repro.gpu.smx import SMX
 from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load, store
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.telemetry.events import NULL_SINK
 
 
 def make_config(**overrides):
@@ -34,6 +35,7 @@ class FakeEngine:
         self.memory = MemoryHierarchy(config)
         self.retired = []
         self.launched = []
+        self.telemetry = NULL_SINK
 
     def schedule_retire(self, tb, time):
         self.retired.append((tb, time))

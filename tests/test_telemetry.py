@@ -1,0 +1,448 @@
+"""Telemetry subsystem: event bus, metrics registry, Chrome-trace export,
+and the determinism guarantee that telemetry never perturbs a run."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.dynpar import make_model
+from repro.gpu.engine import Engine
+from repro.harness.registry import experiment_config, load_benchmark
+from repro.harness.runner import simulate
+from repro.telemetry import (
+    EVENT_TYPES,
+    NULL_SINK,
+    CacheSample,
+    ChildLaunched,
+    ChromeTraceSink,
+    Counter,
+    Gauge,
+    Histogram,
+    KernelDispatched,
+    MetricsRegistry,
+    MetricsSink,
+    NullSink,
+    RecordingSink,
+    TBCompleted,
+    TBDispatched,
+    TeeSink,
+    TraceValidationError,
+    WorkStolen,
+    assert_valid_trace,
+    gini,
+    validate_trace,
+)
+from repro.workloads import make_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_stats.json"
+
+
+def run_benchmark(benchmark, scheduler, *, model="dtbl", telemetry=NULL_SINK, scale="tiny"):
+    workload = load_benchmark(benchmark, scale=scale, seed=7)
+    return simulate(
+        workload.kernel(), scheduler, model, experiment_config(), telemetry=telemetry
+    )
+
+
+# --------------------------------------------------------------------------
+# event bus
+# --------------------------------------------------------------------------
+
+
+class TestEventBus:
+    def test_null_sink_is_disabled(self):
+        assert NULL_SINK.enabled is False
+        assert NullSink().enabled is False
+
+    def test_events_are_frozen_and_hashable(self):
+        event = WorkStolen(time=5, thief_smx_id=1, victim_cluster=2, tb_id=3, priority=1)
+        with pytest.raises(Exception):
+            event.time = 6
+        assert hash(event) == hash(
+            WorkStolen(time=5, thief_smx_id=1, victim_cluster=2, tb_id=3, priority=1)
+        )
+
+    def test_every_event_type_has_a_time(self):
+        for event_type in EVENT_TYPES:
+            assert "time" in event_type.__dataclass_fields__
+
+    def test_recording_sink_orders_and_filters(self):
+        sink = RecordingSink()
+        a = CacheSample(time=1, l1_hit_rate=0.5, l2_hit_rate=0.5, queued_tbs=0, resident_tbs=1)
+        b = ChildLaunched(time=2, smx_id=0, parent_tb_id=0, kernel="c", num_tbs=4)
+        sink.emit(a)
+        sink.emit(b)
+        assert list(sink) == [a, b]
+        assert sink.of_type(ChildLaunched) == [b]
+        assert len(sink) == 2
+
+    def test_tee_drops_disabled_sinks(self):
+        rec = RecordingSink()
+        tee = TeeSink([NullSink(), rec])
+        assert tee.enabled and tee.sinks == [rec]
+        assert TeeSink([NullSink(), NullSink()]).enabled is False
+
+    def test_tee_fans_out_and_closes(self):
+        class Closing(RecordingSink):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        a, b = Closing(), Closing()
+        tee = TeeSink([a, b])
+        event = ChildLaunched(time=0, smx_id=0, parent_tb_id=0, kernel="c", num_tbs=1)
+        tee.emit(event)
+        tee.close()
+        assert a.events == b.events == [event]
+        assert a.closed and b.closed
+
+
+# --------------------------------------------------------------------------
+# metrics registry
+# --------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_rejects_negative(self):
+        c = Counter()
+        c.inc(3)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 3
+
+    def test_gauge_tracks_max(self):
+        g = Gauge()
+        g.set(5)
+        g.set(2)
+        assert g.value == 2 and g.max == 5
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram(bounds=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+        assert h.mean == pytest.approx(185.0)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10, 1))
+
+    def test_labels_address_distinct_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("tbs", smx=0).inc()
+        reg.counter("tbs", smx=1).inc(2)
+        assert reg.value("tbs", smx=1) == 2
+        assert reg.total("tbs") == 3
+        assert {d["smx"] for d in reg.labels_of("tbs")} == {0, 1}
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_value_of_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c", smx=1).inc()
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(7)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"][0] == {"labels": {"smx": 1}, "kind": "counter", "value": 1}
+        assert snap["g"][0]["max"] == 2.5
+        assert snap["h"][0]["total"] == 1
+
+
+class TestGini:
+    def test_balanced_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_approaches_one(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty_and_all_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            gini([1, -1])
+
+    def test_ordering_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([3, 1, 2]))
+
+
+# --------------------------------------------------------------------------
+# determinism: telemetry never perturbs the simulation
+# --------------------------------------------------------------------------
+
+
+GOLDEN_FIELDS = (
+    "cycles",
+    "instructions",
+    "l1_hits",
+    "l1_accesses",
+    "l2_hits",
+    "l2_accesses",
+    "dram_accesses",
+    "tbs_dispatched",
+    "child_tbs_dispatched",
+    "child_same_smx",
+    "launches",
+)
+
+
+class TestDeterminism:
+    def golden(self):
+        with open(GOLDEN_PATH) as f:
+            return json.load(f)
+
+    def measure(self, scheduler, model, telemetry):
+        workload = make_workload("bfs", "citation", scale="tiny", seed=7)
+        engine = Engine(
+            experiment_config(),
+            make_scheduler(scheduler),
+            make_model(model),
+            [workload.kernel()],
+            telemetry=telemetry,
+        )
+        return engine.run()
+
+    @pytest.mark.parametrize("scheduler,model", [("rr", "dtbl"), ("adaptive-bind", "dtbl")])
+    def test_null_sink_matches_golden(self, scheduler, model):
+        stats = self.measure(scheduler, model, NullSink())
+        expected = self.golden()[f"bfs-citation|{scheduler}|{model}"]
+        assert {f: getattr(stats, f) for f in GOLDEN_FIELDS} == expected
+
+    @pytest.mark.parametrize("scheduler,model", [("rr", "dtbl"), ("adaptive-bind", "dtbl")])
+    def test_telemetry_does_not_perturb_stats(self, scheduler, model):
+        sink = TeeSink([RecordingSink(), MetricsSink(), ChromeTraceSink()])
+        stats = self.measure(scheduler, model, sink)
+        expected = self.golden()[f"bfs-citation|{scheduler}|{model}"]
+        assert {f: getattr(stats, f) for f in GOLDEN_FIELDS} == expected
+
+
+# --------------------------------------------------------------------------
+# engine event semantics
+# --------------------------------------------------------------------------
+
+
+class TestEngineEvents:
+    @pytest.fixture(scope="class")
+    def run(self):
+        sink = RecordingSink()
+        stats = run_benchmark("bfs-citation", "adaptive-bind", telemetry=sink)
+        return sink, stats
+
+    def test_dispatch_and_completion_counts_match_stats(self, run):
+        sink, stats = run
+        dispatched = sink.of_type(TBDispatched)
+        completed = sink.of_type(TBCompleted)
+        assert len(dispatched) == stats.tbs_dispatched
+        assert len(completed) == len(dispatched)
+        assert {e.tb_id for e in completed} == {e.tb_id for e in dispatched}
+
+    def test_completion_references_dispatch_time(self, run):
+        sink, _ = run
+        starts = {e.tb_id: e.time for e in sink.of_type(TBDispatched)}
+        for done in sink.of_type(TBCompleted):
+            assert done.dispatched_at == starts[done.tb_id]
+            assert done.time >= done.dispatched_at
+
+    def test_child_launch_events_match_stats(self, run):
+        sink, stats = run
+        assert len(sink.of_type(ChildLaunched)) == stats.launches
+
+    def test_kernel_dispatch_events(self, run):
+        sink, _ = run
+        kernels = sink.of_type(KernelDispatched)
+        assert kernels and kernels[0].is_device is False  # host kernel first
+
+    def test_cache_samples_are_periodic_and_final(self, run):
+        sink, stats = run
+        samples = sink.of_type(CacheSample)
+        assert len(samples) >= 2  # at least the first and the final sample
+        assert samples[-1].time == stats.cycles
+        assert samples[-1].resident_tbs == 0
+        for s in samples:
+            assert 0.0 <= s.l1_hit_rate <= 1.0 and 0.0 <= s.l2_hit_rate <= 1.0
+
+    def test_event_times_monotonic(self, run):
+        sink, _ = run
+        times = [e.time for e in sink]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_work_steal_counter_matches_stats(self, run):
+        sink, stats = run
+        assert len(sink.of_type(WorkStolen)) == stats.work_steals
+
+
+# --------------------------------------------------------------------------
+# steal / imbalance story (paper Section IV-C)
+# --------------------------------------------------------------------------
+
+
+class TestStealImbalance:
+    def test_adaptive_bind_steals_and_rebalances_graph500(self):
+        sink = RecordingSink()
+        adaptive = run_benchmark("bfs-graph500", "adaptive-bind", telemetry=sink)
+        bind = run_benchmark("bfs-graph500", "smx-bind")
+        steals = sink.of_type(WorkStolen)
+        assert len(steals) >= 1
+        assert adaptive.work_steals == len(steals)
+        assert adaptive.busy_cycles_gini < bind.busy_cycles_gini
+        assert bind.work_steals == 0
+
+    def test_metrics_summary_shape(self):
+        metrics = MetricsSink()
+        stats = run_benchmark("bfs-graph500", "adaptive-bind", telemetry=metrics)
+        summary = metrics.summary(stats)
+        assert summary["work_steals"] == stats.work_steals >= 1
+        assert summary["tbs_dispatched"] == stats.tbs_dispatched
+        assert 0.0 < summary["steal_rate"] <= 1.0
+        assert summary["busy_cycles_gini"] == pytest.approx(stats.busy_cycles_gini)
+        assert summary["queue_entry_high_water"] == stats.scheduler_queue_high_water > 0
+        assert json.loads(json.dumps(summary)) == summary
+
+
+# --------------------------------------------------------------------------
+# Chrome trace export and schema validation
+# --------------------------------------------------------------------------
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        sink = ChromeTraceSink(num_smx=experiment_config().num_smx)
+        run_benchmark("bfs-citation", "adaptive-bind", telemetry=sink)
+        return sink.trace()
+
+    def test_trace_passes_schema(self, trace):
+        assert validate_trace(trace) == []
+        assert_valid_trace(trace)  # must not raise
+
+    def test_required_keys_and_monotonic_ts(self, trace):
+        last = None
+        for event in trace["traceEvents"]:
+            assert event["ph"] and "pid" in event
+            if event["ph"] == "M":
+                continue
+            assert "tid" in event and isinstance(event["ts"], (int, float))
+            if last is not None:
+                assert event["ts"] >= last
+            last = event["ts"]
+
+    def test_slices_cover_every_smx(self, trace):
+        num_smx = experiment_config().num_smx
+        slice_tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert slice_tids == set(range(num_smx))
+
+    def test_instants_and_counters_present(self, trace):
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert any(n == "steal" for n in names)
+        assert any(n.startswith("launch ") for n in names)
+        counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+        assert {"cache hit rate", "thread blocks"} <= counters
+
+    def test_thread_name_metadata(self, trace):
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "SMX 0" in names and "scheduler" in names
+
+    def test_trace_is_json_serializable(self, trace, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(trace))
+        assert validate_trace(json.loads(path.read_text())) == []
+
+    def test_write_roundtrip(self, tmp_path):
+        sink = ChromeTraceSink()
+        run_benchmark("amr", "rr", telemetry=sink)
+        written = sink.write(tmp_path / "amr.json")
+        loaded = json.loads((tmp_path / "amr.json").read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert validate_trace(loaded) == []
+
+
+class TestTraceValidator:
+    def envelope(self, *events):
+        return {"traceEvents": list(events)}
+
+    def test_rejects_non_object(self):
+        assert validate_trace([]) != []
+        assert validate_trace({"notEvents": []}) != []
+
+    def test_rejects_missing_ph_and_pid(self):
+        problems = validate_trace(self.envelope({"ts": 0, "tid": 0}))
+        assert any("ph" in p for p in problems)
+        problems = validate_trace(self.envelope({"ph": "i", "ts": 0, "tid": 0, "s": "t"}))
+        assert any("pid" in p for p in problems)
+
+    def test_rejects_negative_and_backward_ts(self):
+        bad = self.envelope(
+            {"ph": "i", "s": "t", "ts": 5, "pid": 0, "tid": 0},
+            {"ph": "i", "s": "t", "ts": 3, "pid": 0, "tid": 0},
+        )
+        assert any("back in time" in p for p in validate_trace(bad))
+        neg = self.envelope({"ph": "i", "s": "t", "ts": -1, "pid": 0, "tid": 0})
+        assert any("negative" in p for p in validate_trace(neg))
+
+    def test_rejects_slice_without_duration(self):
+        bad = self.envelope({"ph": "X", "ts": 0, "pid": 0, "tid": 0})
+        assert any("dur" in p for p in validate_trace(bad))
+
+    def test_rejects_non_numeric_counter(self):
+        bad = self.envelope({"ph": "C", "ts": 0, "pid": 0, "tid": 0, "args": {"x": "no"}})
+        assert any("numeric" in p for p in validate_trace(bad))
+
+    def test_assert_raises_with_first_problem(self):
+        with pytest.raises(TraceValidationError, match="ph"):
+            assert_valid_trace(self.envelope({"ts": 0}))
+
+
+# --------------------------------------------------------------------------
+# harness integration: summaries ride along with cached results
+# --------------------------------------------------------------------------
+
+
+class TestExecutorTelemetry:
+    def test_summary_attached_and_cached(self, tmp_path):
+        from repro.harness.execution import RunSpec, make_executor
+
+        spec = RunSpec.create("bfs-citation", "adaptive-bind", "dtbl", scale="tiny")
+        ex = make_executor(cache=str(tmp_path), collect_telemetry=True)
+        stats = ex.run_one(spec)
+        summary = ex.telemetry_for(spec)
+        assert summary is not None and summary["work_steals"] == stats.work_steals
+
+        # a fresh executor answers both stats and summary from the cache
+        warm = make_executor(cache=str(tmp_path), collect_telemetry=True)
+        assert warm.run_one(spec).cycles == stats.cycles
+        assert warm.hits == 1
+        assert warm.telemetry_for(spec) == summary
+
+    def test_summary_does_not_change_cache_key_or_stats(self, tmp_path):
+        from repro.harness.execution import RunSpec, make_executor
+        from repro.gpu.serialize import stats_to_obj
+
+        spec = RunSpec.create("bfs-citation", "rr", "dtbl", scale="tiny")
+        plain = make_executor(cache=str(tmp_path / "a"))
+        collecting = make_executor(cache=str(tmp_path / "b"), collect_telemetry=True)
+        s1, s2 = plain.run_one(spec), collecting.run_one(spec)
+        assert stats_to_obj(s1) == stats_to_obj(s2)
+        assert spec.cache_key() == RunSpec.create(
+            "bfs-citation", "rr", "dtbl", scale="tiny"
+        ).cache_key()
+        # a record written without telemetry still hits; just no summary
+        reader = make_executor(cache=str(tmp_path / "a"), collect_telemetry=True)
+        reader.run_one(spec)
+        assert reader.hits == 1
+        assert reader.telemetry_for(spec) is None

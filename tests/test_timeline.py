@@ -1,4 +1,4 @@
-"""Occupancy timeline observer."""
+"""Occupancy timeline telemetry sink."""
 
 import pytest
 
@@ -9,22 +9,43 @@ from repro.gpu.config import CacheConfig, GPUConfig
 from repro.gpu.engine import Engine
 from repro.gpu.kernel import KernelSpec, ResourceReq
 from repro.gpu.trace import TBBody, compute
+from repro.telemetry.events import TBCompleted, TBDispatched
 
 
-class FakeTB:
-    def __init__(self, smx_id, warps=2, dynamic=False):
-        self.smx_id = smx_id
-        self.body = type("B", (), {"num_warps": warps})()
-        self.is_dynamic = dynamic
+def dispatched(smx_id, now, tb_id=0, warps=2, dynamic=False):
+    return TBDispatched(
+        time=now,
+        smx_id=smx_id,
+        tb_id=tb_id,
+        kernel_id=0,
+        kernel="k",
+        priority=0,
+        warps=warps,
+        is_dynamic=dynamic,
+        parent_smx_id=None,
+        wait_cycles=0,
+    )
+
+
+def completed(smx_id, now, tb_id=0, warps=2, dynamic=False, start=0):
+    return TBCompleted(
+        time=now,
+        smx_id=smx_id,
+        tb_id=tb_id,
+        kernel_id=0,
+        kernel="k",
+        warps=warps,
+        is_dynamic=dynamic,
+        dispatched_at=start,
+    )
 
 
 class TestQueries:
     def test_occupancy_steps(self):
         tl = OccupancyTimeline(num_smx=2)
-        tb = FakeTB(0)
-        tl("dispatch", tb, 10)
-        tl("dispatch", FakeTB(0), 20)
-        tl("retire", tb, 30)
+        tl.emit(dispatched(0, 10, tb_id=1))
+        tl.emit(dispatched(0, 20, tb_id=2))
+        tl.emit(completed(0, 30, tb_id=1, start=10))
         assert tl.occupancy_at(5, 0) == 0
         assert tl.occupancy_at(10, 0) == 1
         assert tl.occupancy_at(25, 0) == 2
@@ -33,23 +54,21 @@ class TestQueries:
 
     def test_peak(self):
         tl = OccupancyTimeline(num_smx=1)
-        tbs = [FakeTB(0) for _ in range(3)]
-        for i, tb in enumerate(tbs):
-            tl("dispatch", tb, i)
-        tl("retire", tbs[0], 5)
+        for i in range(3):
+            tl.emit(dispatched(0, i, tb_id=i))
+        tl.emit(completed(0, 5, tb_id=0))
         assert tl.occupancy_peak(0) == 3
 
     def test_mean_occupancy(self):
         tl = OccupancyTimeline(num_smx=1)
-        tb = FakeTB(0)
-        tl("dispatch", tb, 0)
-        tl("retire", tb, 10)
+        tl.emit(dispatched(0, 0))
+        tl.emit(completed(0, 10))
         # resident for the full duration [0, 10) of a 10-cycle timeline
         assert tl.mean_occupancy(0) == pytest.approx(1.0)
 
     def test_profile_length(self):
         tl = OccupancyTimeline(num_smx=1)
-        tl("dispatch", FakeTB(0), 0)
+        tl.emit(dispatched(0, 0))
         assert len(tl.profile(0, samples=17)) == 17
 
     def test_empty_timeline(self):
@@ -58,11 +77,18 @@ class TestQueries:
         assert tl.mean_occupancy(0) == 0.0
         assert tl.profile(0) == [0] * 60
 
+    def test_ignores_unrelated_events(self):
+        from repro.telemetry.events import ChildLaunched
+
+        tl = OccupancyTimeline(num_smx=1)
+        tl.emit(ChildLaunched(time=5, smx_id=0, parent_tb_id=0, kernel="c", num_tbs=4))
+        assert tl.events == []
+
 
 class TestRender:
     def test_heatmap_rows(self):
         tl = OccupancyTimeline(num_smx=3)
-        tl("dispatch", FakeTB(1), 0)
+        tl.emit(dispatched(1, 0))
         text = tl.render(samples=20)
         lines = text.splitlines()
         assert len(lines) == 4  # 3 SMXs + legend
@@ -71,7 +97,7 @@ class TestRender:
 
 
 class TestWithEngine:
-    def test_observer_collects_real_run(self):
+    def test_sink_collects_real_run(self):
         config = GPUConfig(
             num_smx=2,
             max_threads_per_smx=64,
@@ -86,9 +112,10 @@ class TestWithEngine:
             bodies=[TBBody(warps=[[compute(20)]]) for _ in range(6)],
             resources=ResourceReq(threads=32, regs_per_thread=8),
         )
-        engine = Engine(config, make_scheduler("rr"), make_model("dtbl"), [spec])
         tl = OccupancyTimeline(num_smx=2)
-        engine.observers.append(tl)
+        engine = Engine(
+            config, make_scheduler("rr"), make_model("dtbl"), [spec], telemetry=tl
+        )
         engine.run()
         dispatches = sum(1 for e in tl.events if e.delta_tbs > 0)
         retires = sum(1 for e in tl.events if e.delta_tbs < 0)
