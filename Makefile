@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install test test-fast bench bench-tiny figures experiments grid-fast trace-demo validate clean
+.PHONY: install test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -20,6 +20,10 @@ bench:
 
 bench-tiny:
 	REPRO_SCALE=tiny $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# engine throughput per scheduler -> BENCH_simulator.json (docs/simulator.md)
+bench-json:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_simulator.py -o BENCH_simulator.json
 
 figures: bench
 

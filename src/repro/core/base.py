@@ -29,6 +29,13 @@ class TBScheduler(ABC):
     #: whether the KMU should admit device kernels highest-priority-first
     #: (True for all LaPerm variants, False for the baseline)
     prioritized_kmu: bool = False
+    #: True when a ``dispatch`` call that returns None (and bumps no
+    #: ``steals`` counter) leaves all observable scheduler state unchanged.
+    #: The engine then skips dispatch until a queue- or resource-changing
+    #: event (delivery, kernel admission, TB retire, placement) occurs.
+    #: Policies with time-gated side effects inside dispatch (e.g. the
+    #: throttling wrapper's cap adjustment) must set this False.
+    idle_dispatch_pure: bool = True
 
     def __init__(self) -> None:
         self.engine: Optional["Engine"] = None

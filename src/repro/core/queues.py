@@ -74,6 +74,10 @@ class MultiLevelQueue:
         self.onchip_entries = 0
         self.overflow_events = 0
         self.entry_high_water = 0
+        #: number of entries across all levels, maintained incrementally so
+        #: per-cycle emptiness checks in the dispatch stage are O(1); may
+        #: include exhausted entries that head() has not pruned yet
+        self.entries = 0
         #: invoked as ``on_overflow(entry, now)`` when a push exceeds the
         #: on-chip capacity; schedulers wire this to the telemetry bus
         self.on_overflow: Optional[Callable[[Entry, int], None]] = None
@@ -89,7 +93,9 @@ class MultiLevelQueue:
                 if self.on_overflow is not None:
                     self.on_overflow(entry, now)
         self._levels[level].append(entry)
-        self.entry_high_water = max(self.entry_high_water, self.total_entries)
+        self.entries += 1
+        if self.entries > self.entry_high_water:
+            self.entry_high_water = self.entries
 
     def _retire(self, entry: Entry) -> None:
         if self.capacity is not None and not entry.overflow:
@@ -98,12 +104,15 @@ class MultiLevelQueue:
     def head(self) -> Optional[Entry]:
         """Entry holding the next TB to dispatch (highest level, FCFS),
         pruning exhausted entries as they are encountered."""
+        if not self.entries:
+            return None
         for level in range(self.max_level, -1, -1):
             queue = self._levels[level]
             while queue:
                 entry = queue[0]
-                if entry.empty:
+                if entry.cursor >= len(entry.tbs):  # exhausted: prune
                     queue.popleft()
+                    self.entries -= 1
                     self._retire(entry)
                     continue
                 return entry
@@ -115,13 +124,13 @@ class MultiLevelQueue:
 
     @property
     def maybe_nonempty(self) -> bool:
-        """O(levels) conservative check: False guarantees the queue is
-        empty; True may include only exhausted entries (head() prunes)."""
-        return any(self._levels)
+        """O(1) conservative check: False guarantees the queue is empty;
+        True may include only exhausted entries (head() prunes)."""
+        return self.entries > 0
 
     @property
     def total_entries(self) -> int:
-        return sum(len(q) for q in self._levels)
+        return self.entries
 
     @property
     def total_tbs(self) -> int:

@@ -40,6 +40,10 @@ class SMXBindScheduler(TBScheduler):
         self._smx_queues: list[MultiLevelQueue] = []
         self._global: deque[Entry] = deque()  # level-0: host kernels
         self._smx_ptr = -1  # advanced before use: starts at SMX 0
+        # True when any bound (per-cluster) queue held entries at the start
+        # of the current dispatch call; queues only gain entries between
+        # dispatch calls, so the flag is valid for the whole SMX rotation
+        self._bound_any = True
 
     def attach(self, engine) -> None:
         super().attach(engine)
@@ -53,6 +57,8 @@ class SMXBindScheduler(TBScheduler):
             MultiLevelQueue(config.max_priority_levels, capacity=capacity)
             for _ in range(config.num_clusters)
         ]
+        # SMX id -> cluster id, flattened for the per-cycle dispatch loop
+        self._cluster_of = [config.cluster_of(i) for i in range(config.num_smx)]
         telemetry = engine.telemetry
         if telemetry.enabled:
             for cluster, queue in enumerate(self._smx_queues):
@@ -92,9 +98,12 @@ class SMXBindScheduler(TBScheduler):
     # ----- dispatch ------------------------------------------------------------
     def _candidate_for(self, smx_id: int, now: int) -> Optional[Entry]:
         """Stages 1-2 of the LaPerm flow for the current SMX."""
-        entry = self._smx_queues[self.engine.config.cluster_of(smx_id)].head()
-        if entry is not None:
-            return entry
+        if self._bound_any:
+            queue = self._smx_queues[self._cluster_of[smx_id]]
+            if queue.entries:
+                entry = queue.head()
+                if entry is not None:
+                    return entry
         return self._global_head()
 
     def has_pending(self) -> bool:
@@ -106,12 +115,19 @@ class SMXBindScheduler(TBScheduler):
         """One dispatch per cycle: rotate over the SMXs and place the first
         SMX's candidate that fits. An SMX whose own (bound) candidate does
         not fit yet does not block the other SMXs' dispatching."""
-        if not self._global and not any(q.maybe_nonempty for q in self._smx_queues):
+        bound_any = False
+        for queue in self._smx_queues:
+            if queue.entries:
+                bound_any = True
+                break
+        self._bound_any = bound_any
+        if not bound_any and not self._global:
             return None  # cheap all-empty fast path
-        num_smx = len(self.engine.smxs)
+        smxs = self.engine.smxs
+        num_smx = len(smxs)
         for i in range(1, num_smx + 1):
             smx_id = (self._smx_ptr + i) % num_smx
-            smx = self.engine.smxs[smx_id]
+            smx = smxs[smx_id]
             if smx.free_tb_slots == 0:
                 continue
             entry = self._candidate_for(smx_id, now)

@@ -25,6 +25,10 @@ from repro.gpu.kernel import Kernel, ThreadBlock
 class ThrottledScheduler(TBScheduler):
     """Compose contention-aware TB throttling with any TB scheduler."""
 
+    # dispatch adjusts residency caps on a time gate, so the engine must
+    # keep invoking it every executed cycle even when nothing is placeable
+    idle_dispatch_pure = False
+
     def __init__(
         self,
         inner: TBScheduler,

@@ -9,10 +9,23 @@ advances a global clock. Each cycle it:
    and KDU entries,
 3. invokes the pluggable TB scheduler, which may place **one** TB on one
    SMX (the paper's one-TB-per-cycle dispatch stage),
-4. lets every SMX issue at most one instruction.
+4. lets every SMX *that can act this cycle* issue at most one instruction.
 
-When nothing can happen, the clock jumps to the next event so that
-memory-stall-dominated regions do not cost wall-clock time.
+Step 4 is event-driven: the engine keeps a wake calendar — a min-heap of
+``(cycle, smx_id)`` entries — and each SMX reports its next possible issue
+cycle (:meth:`SMX.next_event_time`) after every visit; a TB placement
+re-arms its SMX for the current cycle. Only wake-due SMXs are visited, in
+ascending SMX id within a cycle (the fixed sweep order the memory system's
+shared state depends on), so idle and port-busy SMXs cost nothing. The
+calendar uses lazy invalidation: ``SMX.wake_at`` holds the authoritative
+wake cycle and stale heap entries are skipped on pop. This visits an SMX
+on exactly the cycles the classic every-SMX sweep would have issued or
+re-queued a warp on, so simulated results are cycle-exact with the
+pre-calendar engine (pinned by tests/golden_equivalence.json).
+
+When nothing can happen, the clock jumps to the next event — the earliest
+of the retire heap, the launch-delivery queue, and the wake calendar — so
+that memory-stall-dominated regions do not cost wall-clock time.
 """
 
 from __future__ import annotations
@@ -42,8 +55,6 @@ from repro.telemetry.events import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import TBScheduler
     from repro.dynpar.launch import DynamicParallelismModel
-
-_INFINITY = float("inf")
 
 
 class DeadlockError(RuntimeError):
@@ -79,6 +90,9 @@ class Engine:
         self.stats = SimStats()
         self._retire_heap: list[tuple[int, int, ThreadBlock]] = []
         self._retire_seq = itertools.count()
+        # the SMX wake calendar: (cycle, smx_id) entries, lazily invalidated
+        # against the authoritative SMX.wake_at (see module docstring)
+        self._wake_heap: list[tuple[int, int]] = []
         self._live_tbs = 0
         self._finished = False
         # telemetry sink (docs/telemetry.md): every emit site guards on
@@ -207,16 +221,30 @@ class Engine:
             or not self.kmu.drained
         )
 
-    def _next_event_time(self, now: int) -> float:
-        candidates: list[float] = []
-        if self._retire_heap:
-            candidates.append(float(self._retire_heap[0][0]))
+    # ----- the SMX wake calendar -------------------------------------------
+    def _wake_smx(self, smx: SMX, at: int) -> None:
+        """Arm (or advance) an SMX's next visit to cycle ``at``."""
+        wake = smx.wake_at
+        if wake is None or at < wake:
+            smx.wake_at = at
+            heapq.heappush(self._wake_heap, (at, smx.smx_id))
+
+    def _next_event_time(self) -> Optional[int]:
+        """Earliest cycle at which anything can happen, or None."""
+        best = self._retire_heap[0][0] if self._retire_heap else None
         nxt = self.dynpar.next_delivery_time()
-        if nxt is not None:
-            candidates.append(float(nxt))
-        for smx in self.smxs:
-            candidates.append(smx.next_event_time(now))
-        return min(candidates) if candidates else _INFINITY
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
+        heap = self._wake_heap
+        while heap:
+            t, sid = heap[0]
+            if self.smxs[sid].wake_at != t:  # stale calendar entry
+                heapq.heappop(heap)
+                continue
+            if best is None or t < best:
+                best = t
+            break
+        return best
 
     def _emit_sample(self, now: int) -> None:
         resident = sum(len(smx.resident_tbs) for smx in self.smxs)
@@ -241,24 +269,90 @@ class Engine:
         stalled = 0
         sampling = self.telemetry.enabled
         next_sample = now
-        while self._work_remaining():
+        max_cycles = self.max_cycles
+        smxs = self.smxs
+        wake_heap = self._wake_heap
+        retire_heap = self._retire_heap
+        deliver_due = self.dynpar.deliver_due
+        dispatch = self.scheduler.dispatch
+        retire_due = self._retire_due
+        heappop, heappush = heapq.heappop, heapq.heappush
+        # _work_remaining() inlined: both pending lists are created once and
+        # mutated in place, so binding them here is safe and skips four
+        # attribute/property lookups per executed cycle
+        dynpar_pending = self.dynpar._pending
+        kmu_pending = self.kmu._pending
+        # dispatch-skip state: a pure scheduler whose dispatch returned None
+        # without counting a steal cannot place anything until a delivery,
+        # kernel admission, TB retire or placement changes machine state, so
+        # the engine stops calling it until one of those happens. Schedulers
+        # with timed side effects opt out via ``idle_dispatch_pure``.
+        scheduler = self.scheduler
+        dispatch_pure = scheduler.idle_dispatch_pure
+        dispatch_dirty = True
+        while self._live_tbs > 0 or dynpar_pending or kmu_pending:
             if sampling and now >= next_sample:
                 self._emit_sample(now)
                 next_sample = now + self._sample_interval
-            self.dynpar.deliver_due(now)
-            retired = self._retire_due(now)
-            placed = self.scheduler.dispatch(now) is not None
+            # both stage helpers start with the same due-check: hoisting it
+            # here skips the call entirely on the (common) nothing-due cycle
+            if dynpar_pending and dynpar_pending[0][0] <= now:
+                deliver_due(now)
+                dispatch_dirty = True
+            if retire_heap and retire_heap[0][0] <= now:
+                retired = retire_due(now)
+                dispatch_dirty = True
+            else:
+                retired = False
+            if dispatch_dirty:
+                steals_before = getattr(scheduler, "steals", 0)
+                placed_tb = dispatch(now)
+                if placed_tb is not None:
+                    # a freshly placed TB may issue this very cycle
+                    self._wake_smx(smxs[placed_tb.smx_id], now)
+                elif dispatch_pure and getattr(scheduler, "steals", 0) == steals_before:
+                    dispatch_dirty = False
+            else:
+                placed_tb = None
             issued = False
-            for smx in self.smxs:
+            # visit the wake-due SMXs in ascending id (the sweep order the
+            # shared L2/DRAM state depends on); each visit re-arms the SMX
+            while wake_heap and wake_heap[0][0] <= now:
+                t, sid = heappop(wake_heap)
+                smx = smxs[sid]
+                if smx.wake_at != t:  # stale calendar entry
+                    continue
                 if smx.try_issue(now, self):
                     issued = True
-            if placed or issued or retired:
+                # SMX.next_event_time, inlined (one call per visit adds up;
+                # kept in sync with smx.py). The `current.done` guard is
+                # dropped: try_issue never leaves a finished warp current.
+                floor = smx.port_free_at
+                if floor <= now:
+                    floor = now + 1
+                nxt = None
+                current = smx._current
+                if current is not None:
+                    nxt = current.ready_at if current.ready_at > floor else floor
+                if smx._ready and (nxt is None or floor < nxt):
+                    nxt = floor
+                stalled = smx._stalled
+                if stalled:
+                    st = stalled[0][0]
+                    if st < floor:
+                        st = floor
+                    if nxt is None or st < nxt:
+                        nxt = st
+                smx.wake_at = nxt
+                if nxt is not None:
+                    heappush(wake_heap, (nxt, sid))
+            if placed_tb is not None or issued or retired:
                 now += 1
                 stalled = 0
             else:
-                nxt = self._next_event_time(now)
-                if nxt != _INFINITY:
-                    now = max(now + 1, int(nxt))
+                nxt = self._next_event_time()
+                if nxt is not None:
+                    now = max(now + 1, nxt)
                     stalled = 0
                 elif self.scheduler.has_pending():
                     # idle machine, but the dispatch rotation may reach a
@@ -279,8 +373,8 @@ class Engine:
                             f"KMU drained={self.kmu.drained}"
                         )
                     break
-            if self.max_cycles is not None and now > self.max_cycles:
-                raise RuntimeError(f"exceeded max_cycles={self.max_cycles}")
+            if max_cycles is not None and now > max_cycles:
+                raise RuntimeError(f"exceeded max_cycles={max_cycles}")
         self.now = now
         self._finished = True
         if sampling:
@@ -301,6 +395,7 @@ class Engine:
         stats.l2_hits = l2.hits
         stats.dram_accesses = self.memory.dram_transactions()
         stats.dram_mean_latency = self.memory.dram_mean_latency()
+        stats.mshr_dropped = self.memory.mshr_dropped
         stats.per_smx_instructions = [s.issued_instructions for s in self.smxs]
         stats.per_smx_busy_cycles = [s.issue_cycles for s in self.smxs]
         stats.per_smx_tbs = [s.tbs_executed for s in self.smxs]

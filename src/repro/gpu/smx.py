@@ -22,7 +22,13 @@ from repro.telemetry.events import WarpStall
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.engine import Engine
 
-_INFINITY = float("inf")
+# hot-path constants: module-level bindings are one dict lookup instead of
+# two (module attribute, then enum member) inside the issue loop
+_OP_COMPUTE = Op.COMPUTE
+_OP_LOAD = Op.LOAD
+_OP_STORE = Op.STORE
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class WarpContext:
@@ -78,9 +84,15 @@ class SMX:
         self._current: Optional[WarpContext] = None  # GTO greedy target
         self._age_counter = itertools.count()
         self._policy = config.warp_scheduler
+        # policy flags hoisted out of the per-issue hot path
+        self._is_gto = self._policy == "gto"
+        self._is_tl = self._policy == "tl"
         # two-level active set (identity-keyed: ages rotate under LRR/TL)
         self._active: set[int] = set()
         self.resident_tbs: set[ThreadBlock] = set()
+        # earliest scheduled engine visit (the wake-calendar handle);
+        # owned by Engine, None = not scheduled
+        self.wake_at: Optional[int] = None
         # statistics
         self.issued_instructions = 0
         self.issue_cycles = 0  # cycles the issue port was occupied
@@ -119,7 +131,7 @@ class SMX:
             if start <= now:
                 self._push_ready(warp)
             else:
-                heapq.heappush(self._stalled, (start, warp.age, warp))
+                _heappush(self._stalled, (start, warp.age, warp))
 
     def release(self, tb: ThreadBlock) -> None:
         """Free a retired thread block's resources."""
@@ -133,28 +145,28 @@ class SMX:
 
     # ----- issue -----------------------------------------------------------
     def _push_ready(self, warp: WarpContext) -> None:
-        tier = 0 if self._policy != "tl" or id(warp) in self._active else 1
-        heapq.heappush(self._ready, (tier, warp.age, warp))
+        tier = 1 if self._is_tl and id(warp) not in self._active else 0
+        _heappush(self._ready, (tier, warp.age, warp))
 
     def _park(self, warp: WarpContext, wake_at: int, now: int) -> None:
         """Move a stalling warp to the wait heap; long memory stalls expel
         it from the two-level active set."""
-        if self._policy == "tl" and wake_at - now > self.config.tl_demote_stall:
+        if self._is_tl and wake_at - now > self.config.tl_demote_stall:
             self._active.discard(id(warp))
-        heapq.heappush(self._stalled, (wake_at, warp.age, warp))
-
-    def _wake_stalled(self, now: int) -> None:
-        stalled = self._stalled
-        while stalled and stalled[0][0] <= now:
-            _, _, warp = heapq.heappop(stalled)
-            self._push_ready(warp)
+        _heappush(self._stalled, (wake_at, warp.age, warp))
 
     def _pick_warp(self, now: int) -> Optional[WarpContext]:
         """Warp-scheduler policy. GTO keeps the greedy warp until it stalls
         or retires, falling back oldest-first; LRR rotates over all ready
         warps; TL rotates over the bounded active set, promoting the oldest
         pending warp only when a slot is free."""
-        self._wake_stalled(now)
+        stalled = self._stalled
+        if stalled and stalled[0][0] <= now:
+            # wake every warp whose stall has elapsed
+            push_ready = self._push_ready
+            pop = _heappop
+            while stalled and stalled[0][0] <= now:
+                push_ready(pop(stalled)[2])
         current = self._current
         if current is not None:
             if current.ready_at <= now:
@@ -170,7 +182,7 @@ class SMX:
             if len(self._active) >= self.config.tl_active_warps:
                 return None  # wait for an active warp to become ready
             self._active.add(id(warp))
-        heapq.heappop(self._ready)
+        _heappop(self._ready)
         return warp
 
     def try_issue(self, now: int, engine: "Engine") -> bool:
@@ -179,11 +191,14 @@ class SMX:
             return False
         if self._current is None and not self._ready and not self._stalled:
             return False  # nothing resident: skip the scheduler entirely
+        op_load = _OP_LOAD
         while True:
             warp = self._pick_warp(now)
             if warp is None:
                 return False
-            if warp.blocked_on_loads(now):
+            # inline WarpContext.blocked_on_loads (hot path; picked warps
+            # are never done — finished warps are dropped, not re-queued)
+            if warp.outstanding > now and warp.instrs[warp.pc].op != op_load:
                 # the next instruction uses in-flight load data: park the
                 # warp until its slowest outstanding load returns
                 if self._current is warp:
@@ -205,23 +220,24 @@ class SMX:
         instr = warp.instrs[warp.pc]
         warp.pc += 1
         op = instr.op
-        if op == Op.COMPUTE:
+        if op == _OP_COMPUTE:
             duration = instr.cycles
             warp.ready_at = now + duration
             self.port_free_at = now + duration
             self.issued_instructions += duration
             self.issue_cycles += duration
-        elif op == Op.LOAD:
-            result = engine.memory.access_warp(self.smx_id, instr.addresses, now)
+        elif op == op_load:
+            done = engine.memory.access_instr(self.smx_id, instr, now)
             # loads pipeline: the warp keeps issuing, stalling only at a use
-            warp.outstanding = max(warp.outstanding, result.complete_at)
+            if done > warp.outstanding:
+                warp.outstanding = done
             warp.ready_at = now + 1
             self.port_free_at = now + 1
             self.issued_instructions += 1
             self.issue_cycles += 1
-        elif op == Op.STORE:
+        elif op == _OP_STORE:
             # write-through, fire-and-forget: the warp does not stall
-            engine.memory.access_warp(self.smx_id, instr.addresses, now, is_write=True)
+            engine.memory.access_instr(self.smx_id, instr, now, is_write=True)
             warp.ready_at = now + 1
             self.port_free_at = now + 1
             self.issued_instructions += 1
@@ -235,7 +251,7 @@ class SMX:
             self.issued_instructions += 1
             self.issue_cycles += 1
 
-        if warp.done:
+        if warp.pc >= len(warp.instrs):  # warp.done, inlined
             self._current = None
             self._active.discard(id(warp))
             tb = warp.tb
@@ -245,7 +261,7 @@ class SMX:
                 engine.schedule_retire(tb, max(warp.ready_at, warp.outstanding))
         else:
             # Invariant: the greedy (current) warp is never in the heaps.
-            gto = self._policy == "gto"
+            gto = self._is_gto
             if gto and warp.ready_at <= now + 1:
                 self._current = warp
             else:
@@ -259,16 +275,26 @@ class SMX:
                     self._park(warp, warp.ready_at, now)
         return True
 
-    def next_event_time(self, now: int) -> float:
-        """Earliest future cycle at which this SMX could issue again."""
-        candidates = []
-        if self._current is not None and not self._current.done:
-            candidates.append(max(self.port_free_at, self._current.ready_at, now + 1))
-        if self._ready:
-            candidates.append(max(float(self.port_free_at), now + 1))
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle (> ``now``) at which this SMX could issue
+        again, or None when no resident warp can ever become issueable
+        without external state changes (an empty or fully-drained SMX)."""
+        floor = self.port_free_at
+        if floor <= now:
+            floor = now + 1
+        best: Optional[int] = None
+        current = self._current
+        if current is not None and not current.done:
+            best = current.ready_at if current.ready_at > floor else floor
+        if self._ready and (best is None or floor < best):
+            best = floor
         if self._stalled:
-            candidates.append(max(self.port_free_at, self._stalled[0][0], now + 1))
-        return min(candidates) if candidates else _INFINITY
+            t = self._stalled[0][0]
+            if t < floor:
+                t = floor
+            if best is None or t < best:
+                best = t
+        return best
 
     @property
     def idle(self) -> bool:

@@ -29,6 +29,10 @@ class SimStats:
     child_tbs_dispatched: int = 0
     launches: int = 0
 
+    #: in-flight MSHR fills evicted because the table exceeded its capacity
+    #: while every entry was still live (merge timing lost, never data)
+    mshr_dropped: int = 0
+
     # sum over child TBs of (dispatched_at - created_at): how long children
     # waited from becoming schedulable to actually starting
     child_wait_total: int = 0

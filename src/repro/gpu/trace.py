@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Optional
 
+from repro.memory.coalescer import coalesce
+
 
 class Op(IntEnum):
     COMPUTE = 0
@@ -42,6 +44,22 @@ class Instr:
     cycles: int = 1
     addresses: Optional[tuple[int, ...]] = None
     launch: Optional["LaunchSpec"] = None
+    # memoized coalescing result: ``addresses`` never changes after trace
+    # generation, so the line list is computed once per (instr, line size)
+    # instead of on every issue of the instruction
+    _lines: Optional[list[int]] = field(default=None, repr=False, compare=False)
+    _lines_bytes: int = field(default=0, repr=False, compare=False)
+
+    def coalesced(self, line_bytes: int) -> list[int]:
+        """The coalesced line addresses of this memory instruction.
+
+        Callers must not mutate the returned list — it is shared across
+        every future issue of this (static) instruction.
+        """
+        if self._lines_bytes != line_bytes:
+            self._lines = coalesce(self.addresses, line_bytes)
+            self._lines_bytes = line_bytes
+        return self._lines
 
 
 def compute(cycles: int) -> Instr:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.gpu.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters for one cache instance."""
 
@@ -48,6 +48,8 @@ class Cache:
     (first item = least recently used).
     """
 
+    __slots__ = ("config", "name", "num_sets", "associativity", "line_bytes", "_sets", "stats")
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
@@ -58,42 +60,44 @@ class Cache:
         self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
         self.stats = CacheStats()
 
-    def _locate(self, line_addr: int) -> tuple[dict[int, None], int]:
-        return self._sets[line_addr % self.num_sets], line_addr
-
     def access(self, line_addr: int, *, is_write: bool = False, allocate: bool = True) -> bool:
         """Access one cache line; return True on hit.
 
         ``allocate=False`` models no-allocate-on-miss (Kepler L1 stores).
         Writes never cause an allocation when ``allocate`` is False but do
         refresh LRU state on a hit.
+
+        This is the hottest function of the memory path (every coalesced
+        transaction passes through it at least once), hence the flat
+        single-lookup structure: statistics are batched per branch and the
+        set dict is resolved without helper calls.
         """
-        cache_set, tag = self._locate(line_addr)
-        self.stats.accesses += 1
-        if is_write:
-            self.stats.write_accesses += 1
-        if tag in cache_set:
+        cache_set = self._sets[line_addr % self.num_sets]
+        stats = self.stats
+        stats.accesses += 1
+        if line_addr in cache_set:
             # refresh LRU position
-            del cache_set[tag]
-            cache_set[tag] = None
-            self.stats.hits += 1
+            del cache_set[line_addr]
+            cache_set[line_addr] = None
+            stats.hits += 1
             if is_write:
-                self.stats.write_hits += 1
+                stats.write_accesses += 1
+                stats.write_hits += 1
             return True
-        self.stats.misses += 1
+        stats.misses += 1
+        if is_write:
+            stats.write_accesses += 1
         if allocate:
             if len(cache_set) >= self.associativity:
                 # evict the LRU entry (first insertion-ordered key)
-                lru = next(iter(cache_set))
-                del cache_set[lru]
-                self.stats.evictions += 1
-            cache_set[tag] = None
+                del cache_set[next(iter(cache_set))]
+                stats.evictions += 1
+            cache_set[line_addr] = None
         return False
 
     def probe(self, line_addr: int) -> bool:
         """Check residency without updating LRU state or statistics."""
-        cache_set, tag = self._locate(line_addr)
-        return tag in cache_set
+        return line_addr in self._sets[line_addr % self.num_sets]
 
     def invalidate_all(self) -> None:
         for cache_set in self._sets:

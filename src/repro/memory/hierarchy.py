@@ -13,13 +13,22 @@ track dirty data), but allocate in L2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 from repro.gpu.config import CacheConfig, GPUConfig
 from repro.memory.cache import Cache, CacheStats
 from repro.memory.coalescer import coalesce
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.trace import Instr
 
-@dataclass
+#: in-flight fill (MSHR) entries kept before the oldest-completion fills
+#: are evicted; large enough that real workloads never reach it
+MSHR_TABLE_LIMIT = 4096
+
+
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one warp memory instruction."""
 
@@ -67,9 +76,23 @@ class MemoryHierarchy:
         # aliases for the common monolithic configuration
         self.l2 = self.l2_parts[0]
         self.dram = self.drams[0]
-        # in-flight L2 fills: line -> completion time (MSHR table)
+        # in-flight L2 fills: line -> completion time (MSHR table), plus a
+        # (completion, line) heap so expiry and capacity eviction pop the
+        # earliest-completing fills without ever rebuilding the dict
         self._inflight: dict[int, int] = {}
+        self._inflight_heap: list[tuple[int, int]] = []
+        self.mshr_limit = MSHR_TABLE_LIMIT
         self.mshr_merges = 0
+        self.mshr_dropped = 0
+        # immutable-config scalars and per-SMX L1 internals, prefetched so
+        # the per-instruction fast path does not re-derive them on every
+        # access (the config and cache objects never change after init)
+        self._line_bytes = config.line_bytes
+        self._merging = config.mshr_merging
+        self._parts = parts
+        self._l1_lat = config.l1_hit_latency
+        self._l2_lat = config.l2_hit_latency
+        self._l1_fast = [(l1._sets, l1.num_sets, l1.associativity, l1.stats) for l1 in self.l1s]
 
     def access_warp(
         self,
@@ -82,57 +105,184 @@ class MemoryHierarchy:
     ) -> AccessResult:
         """Issue one warp memory instruction; return timing and hit counts."""
         lines = coalesce(addresses, self.config.line_bytes)
+        return self._access_lines(smx_id, lines, now, is_write, bypass_l1)
+
+    def access_instr(
+        self, smx_id: int, instr: "Instr", now: int, *, is_write: bool = False
+    ) -> int:
+        """Issue one traced memory instruction and return the cycle at
+        which its slowest transaction completes.
+
+        This is the SMX pipeline's hot path: it reuses the instruction's
+        memoized coalescing (:meth:`repro.gpu.trace.Instr.coalesced`) and
+        runs a lean copy of the :meth:`_access_lines` walk that updates the
+        same cache/DRAM/MSHR state but skips the per-access hit bookkeeping
+        and the :class:`AccessResult` allocation. The two loops must stay
+        state-identical — ``_access_lines`` is the reference and the golden
+        equivalence suite pins them together.
+        """
+        lines = instr.coalesced(self._line_bytes)
+        complete_at = now
+        merging = self._merging
+        parts = self._parts
+        inflight_get = self._inflight.get
+        l2_parts = self.l2_parts
+        drams = self.drams
+        l1_hit_latency = self._l1_lat
+        l2_hit_latency = self._l2_lat
+        l1_sets, l1_num_sets, l1_assoc, l1_stats = self._l1_fast[smx_id]
+        for line in lines:
+            cache_set = l1_sets[line % l1_num_sets]
+            l1_stats.accesses += 1
+            if line in cache_set:
+                del cache_set[line]
+                cache_set[line] = None
+                l1_stats.hits += 1
+                if not is_write:
+                    fill = inflight_get(line, 0) if merging else 0
+                    if fill > now:
+                        self.mshr_merges += 1
+                        if fill > complete_at:
+                            complete_at = fill
+                    else:
+                        done = now + l1_hit_latency
+                        if done > complete_at:
+                            complete_at = done
+                    continue
+                l1_stats.write_accesses += 1
+                l1_stats.write_hits += 1
+            else:
+                l1_stats.misses += 1
+                if is_write:
+                    l1_stats.write_accesses += 1
+                else:
+                    if len(cache_set) >= l1_assoc:
+                        del cache_set[next(iter(cache_set))]
+                        l1_stats.evictions += 1
+                    cache_set[line] = None
+            part = line % parts
+            if l2_parts[part].access(line, is_write=is_write, allocate=True):
+                fill = inflight_get(line, 0) if merging else 0
+                if fill > now:
+                    self.mshr_merges += 1
+                    if fill > complete_at:
+                        complete_at = fill
+                else:
+                    done = now + l2_hit_latency
+                    if done > complete_at:
+                        complete_at = done
+            else:
+                done = drams[part].service(now)
+                if merging and not is_write:
+                    self._mshr_insert(line, done, now)
+                if done > complete_at:
+                    complete_at = done
+        return complete_at
+
+    def _mshr_insert(self, line: int, done: int, now: int) -> None:
+        """Record an in-flight fill, expiring landed entries lazily and —
+        only if every entry is still genuinely in flight — evicting the
+        oldest-completing fills deterministically. Eviction loses merge
+        *timing* for those lines, never correctness, and is counted in
+        ``mshr_dropped`` (surfaced as ``SimStats.mshr_dropped``)."""
+        inflight = self._inflight
+        heap = self._inflight_heap
+        inflight[line] = done
+        heappush(heap, (done, line))
+        # fills that have landed can never merge again: drop them now
+        while heap and heap[0][0] <= now:
+            t, ln = heappop(heap)
+            if inflight.get(ln) == t:
+                del inflight[ln]
+        while len(inflight) > self.mshr_limit:
+            t, ln = heappop(heap)
+            if inflight.get(ln) == t:
+                del inflight[ln]
+                self.mshr_dropped += 1
+
+    def _access_lines(
+        self, smx_id: int, lines: list[int], now: int, is_write: bool, bypass_l1: bool
+    ) -> AccessResult:
+        config = self.config
         l1 = self.l1s[smx_id]
         complete_at = now
         l1_hits = l2_hits = dram_accesses = merges = 0
-        merging = self.config.mshr_merging
-        parts = self.config.l2_partitions
+        merging = config.mshr_merging
+        parts = config.l2_partitions
+        inflight_get = self._inflight.get
+        l2_parts = self.l2_parts
+        l1_hit_latency = config.l1_hit_latency
+        l2_hit_latency = config.l2_hit_latency
+        # the L1 lookup is inlined (state changes match Cache.access with
+        # is_write/allocate=not is_write exactly): it runs once per
+        # coalesced transaction, making it the hottest code in the model
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        l1_assoc = l1.associativity
+        l1_stats = l1.stats
         for line in lines:
             if not bypass_l1:
-                # stores are write-through / no-allocate at L1
-                hit = l1.access(line, is_write=is_write, allocate=not is_write)
-                if hit and not is_write:
-                    fill = self._inflight.get(line, 0) if merging else 0
-                    if fill > now:
-                        # the line's fill has not landed yet: wait for it
-                        merges += 1
-                        self.mshr_merges += 1
-                        complete_at = max(complete_at, fill)
-                    else:
-                        l1_hits += 1
-                        complete_at = max(complete_at, now + self.config.l1_hit_latency)
-                    continue
-                if hit and is_write:
+                cache_set = l1_sets[line % l1_num_sets]
+                l1_stats.accesses += 1
+                if line in cache_set:
+                    # refresh LRU position
+                    del cache_set[line]
+                    cache_set[line] = None
+                    l1_stats.hits += 1
+                    if not is_write:
+                        fill = inflight_get(line, 0) if merging else 0
+                        if fill > now:
+                            # the line's fill has not landed yet: wait for it
+                            merges += 1
+                            self.mshr_merges += 1
+                            if fill > complete_at:
+                                complete_at = fill
+                        else:
+                            l1_hits += 1
+                            done = now + l1_hit_latency
+                            if done > complete_at:
+                                complete_at = done
+                        continue
+                    # write hit: write-through still goes to L2 below
+                    l1_stats.write_accesses += 1
+                    l1_stats.write_hits += 1
                     l1_hits += 1
-                    # write-through still goes to L2 below
+                else:
+                    l1_stats.misses += 1
+                    if is_write:
+                        # stores are write-through / no-allocate at L1
+                        l1_stats.write_accesses += 1
+                    else:
+                        if len(cache_set) >= l1_assoc:
+                            del cache_set[next(iter(cache_set))]
+                            l1_stats.evictions += 1
+                        cache_set[line] = None
             # L2 allocates on both loads and stores (tag at miss time)
             part = line % parts
-            if self.l2_parts[part].access(line, is_write=is_write, allocate=True):
-                fill = self._inflight.get(line, 0) if merging else 0
+            if l2_parts[part].access(line, is_write=is_write, allocate=True):
+                fill = inflight_get(line, 0) if merging else 0
                 if fill > now:
                     # the tag is resident but the fill is still in flight:
                     # this request merges into the outstanding miss (MSHR)
                     # and sees the data-arrival time, not the hit latency
                     merges += 1
                     self.mshr_merges += 1
-                    complete_at = max(complete_at, fill)
+                    if fill > complete_at:
+                        complete_at = fill
                 else:
                     l2_hits += 1
-                    complete_at = max(complete_at, now + self.config.l2_hit_latency)
+                    done = now + l2_hit_latency
+                    if done > complete_at:
+                        complete_at = done
             else:
                 dram_accesses += 1
                 done = self.drams[part].service(now)
                 if merging and not is_write:
                     # stores write through without fetching: only loads put
                     # a fill in flight that later requests can merge into
-                    self._inflight[line] = done
-                    # opportunistic cleanup keeps the table small; if every
-                    # entry is genuinely in flight, forget the oldest fills
-                    # (only merge *timing* is lost, never correctness)
-                    if len(self._inflight) > 4096:
-                        live = {ln: t for ln, t in self._inflight.items() if t > now}
-                        self._inflight = live if len(live) <= 4096 else {}
-                complete_at = max(complete_at, done)
+                    self._mshr_insert(line, done, now)
+                if done > complete_at:
+                    complete_at = done
         return AccessResult(
             complete_at=complete_at,
             transactions=len(lines),

@@ -149,3 +149,56 @@ class TestMSHRMerging:
         for i in range(5000):
             mem.access_warp(0, [i * 128], now=0)
         assert len(mem._inflight) <= 4096
+
+
+class TestMSHROverflow:
+    """Capacity behaviour of the in-flight fill (MSHR) table."""
+
+    def _mem(self, lines_per_cycle=1.0):
+        config = GPUConfig(
+            num_smx=2,
+            l1=CacheConfig(size_bytes=1024, associativity=2),
+            l2=CacheConfig(size_bytes=64 * 1024, associativity=4),
+            l1_hit_latency=10,
+            l2_hit_latency=50,
+            dram_latency=200,
+            dram_lines_per_cycle=lines_per_cycle,
+        )
+        return MemoryHierarchy(config)
+
+    def test_table_stays_bounded_and_counts_drops(self):
+        mem = self._mem()
+        mem.mshr_limit = 8
+        for i in range(20):
+            mem.access_warp(0, [i * 128], now=0)
+        assert len(mem._inflight) <= 8
+        assert mem.mshr_dropped == 12
+
+    def test_oldest_completing_fills_evicted_first(self):
+        mem = self._mem()
+        mem.mshr_limit = 4
+        for i in range(6):
+            mem.access_warp(0, [i * 128], now=0)
+        # bandwidth-limited DRAM (1 line/cycle): line i's fill completes at
+        # 200 + i, so capacity eviction drops the two earliest-completing
+        # fills — lines 0 and 1 — and keeps the rest, deterministically
+        assert set(mem._inflight) == {2, 3, 4, 5}
+        assert mem.mshr_dropped == 2
+
+    def test_overflow_beyond_default_limit(self):
+        # > MSHR_TABLE_LIMIT genuinely-in-flight fills (all issued at cycle
+        # 0, none landed): every insert past the limit evicts exactly one
+        mem = self._mem(lines_per_cycle=100.0)
+        for i in range(5000):
+            mem.access_warp(0, [i * 128], now=0)
+        assert len(mem._inflight) == 4096
+        assert mem.mshr_dropped == 5000 - 4096
+
+    def test_landed_fills_expire_without_counting_as_drops(self):
+        mem = self._mem()
+        mem.mshr_limit = 8
+        for i in range(8):
+            mem.access_warp(0, [i * 128], now=0)  # fills land by ~208
+        mem.access_warp(0, [100 * 128], now=1000)  # all 8 have landed
+        assert set(mem._inflight) == {100}
+        assert mem.mshr_dropped == 0

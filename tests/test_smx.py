@@ -62,7 +62,7 @@ def run_to_completion(smx, engine, max_cycles=100_000):
                 smx.release(tb)
         if not issued:
             nxt = smx.next_event_time(now)
-            now = now + 1 if nxt == float("inf") else max(now + 1, int(nxt))
+            now = now + 1 if nxt is None else max(now + 1, nxt)
         else:
             now += 1
         if now > max_cycles:
@@ -246,8 +246,10 @@ class TestWarpScheduling:
         assert smx.issued_instructions == 3
 
     def test_next_event_time_idle(self):
+        # a drained/empty SMX has no future event: None, not a float inf
+        # sentinel, so the engine's wake calendar stays all-int
         smx = SMX(0, make_config())
-        assert smx.next_event_time(0) == float("inf")
+        assert smx.next_event_time(0) is None
 
     def test_next_event_time_with_stalled_warp(self):
         config = make_config()
@@ -267,3 +269,28 @@ class TestStartDelay:
         smx.place(make_tb([[compute(1)]]), now=0, start_delay=50)
         assert not smx.try_issue(0, engine)
         assert smx.try_issue(50, engine)
+
+    def test_delayed_placement_is_a_wake_event(self):
+        # the engine's wake calendar relies on next_event_time announcing
+        # the delayed start; a missing event would strand the SMX forever
+        config = make_config()
+        smx = SMX(0, config)
+        engine = FakeEngine(config)
+        smx.place(make_tb([[compute(2), compute(1)]]), now=0, start_delay=50)
+        assert smx.next_event_time(0) == 50
+        run_to_completion(smx, engine)
+        assert smx.issued_instructions == 3
+        # the 2-cycle compute starts at 50, the next at 52: retire at 53
+        assert engine.retired[0][1] == 53
+
+    def test_delayed_warps_interleave_with_resident_work(self):
+        config = make_config()
+        smx = SMX(0, config)
+        engine = FakeEngine(config)
+        smx.place(make_tb([[compute(1)] * 2]), now=0)
+        smx.place(make_tb([[compute(1)]]), now=0, start_delay=10)
+        run_to_completion(smx, engine)
+        assert smx.issued_instructions == 3
+        assert len(engine.retired) == 2
+        # the delayed TB cannot retire before its fetch delay has elapsed
+        assert engine.retired[1][1] >= 10
