@@ -4,10 +4,18 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo validate clean
+.PHONY: install lint test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
+
+# ruff config lives in pyproject.toml; skips gracefully where ruff is absent
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples scripts; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -10,7 +10,6 @@
 
 import pytest
 
-from repro.core import make_scheduler
 from repro.core.adaptive_bind import AdaptiveBindScheduler
 from repro.dynpar import make_model
 from repro.gpu.config import CacheConfig
@@ -176,7 +175,7 @@ def test_seed_stability(benchmark):
 
     result = once(benchmark, run)
     print(
-        f"\nSeed stability (bfs-citation, Adaptive-Bind/DTBL): "
+        "\nSeed stability (bfs-citation, Adaptive-Bind/DTBL): "
         f"mean={result.mean:.3f} std={result.std:.3f} "
         f"range=[{result.min:.3f}, {result.max:.3f}] over seeds (1, 3, 9)"
     )

@@ -42,6 +42,22 @@ def test_engine_throughput_laperm(benchmark, tiny_spec):
     assert cycles > 0
 
 
+def test_engine_throughput_laperm_throttled(benchmark, tiny_spec):
+    """Composed policy: LaPerm plus the throttle admission component."""
+
+    def run():
+        engine = Engine(
+            experiment_config(),
+            make_scheduler("adaptive-bind+throttle"),
+            make_model("dtbl"),
+            [tiny_spec],
+        )
+        return engine.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
 def test_cache_access_throughput(benchmark):
     cache = Cache(CacheConfig(size_bytes=32 * 1024, associativity=4))
     lines = [(i * 37) % 4096 for i in range(10_000)]
@@ -110,7 +126,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--schedulers",
         nargs="+",
-        default=["rr", "tb-pri", "smx-bind", "adaptive-bind"],
+        # the paper's four plus one composed policy (admission control on
+        # top of LaPerm) so the throttle/admission path can't regress silently
+        default=["rr", "tb-pri", "smx-bind", "adaptive-bind", "adaptive-bind+throttle"],
     )
     parser.add_argument(
         "--baseline",

@@ -14,7 +14,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
-from tests.test_golden import COMBOS, FIELDS, GOLDEN_PATH, measure  # noqa: E402
+from tests.test_golden import COMBOS, GOLDEN_PATH, measure  # noqa: E402
 
 
 def main() -> None:

@@ -2,10 +2,12 @@
 
 A from-scratch Python reproduction of the ISCA 2016 paper by Wang, Rubin,
 Sidelnik and Yalamanchili: a trace-driven, cycle-level GPU simulator with
-CDP/DTBL dynamic parallelism, the four TB schedulers the paper evaluates
-(round-robin baseline, TB-Pri, SMX-Bind, Adaptive-Bind = LaPerm), the
-eight irregular benchmark applications, and the analysis/harness code
-that regenerates every table and figure.
+CDP/DTBL dynamic parallelism, a composable TB-scheduler stack whose
+named presets are the four policies the paper evaluates (round-robin
+baseline, TB-Pri, SMX-Bind, Adaptive-Bind = LaPerm; see
+docs/schedulers.md for the component grammar), the eight irregular
+benchmark applications, and the analysis/harness code that regenerates
+every table and figure.
 
 Quick start::
 
@@ -24,7 +26,17 @@ from repro.analysis import (
     inter_tb_reuse,
     reuse_distance_histogram,
 )
-from repro.core import SCHEDULER_ORDER, SCHEDULERS, ThrottledScheduler, make_scheduler
+from repro.core import (
+    NAMED_COMPOSITIONS,
+    SCHEDULER_ORDER,
+    SCHEDULERS,
+    ComposedScheduler,
+    SchedulerSpec,
+    ThrottledScheduler,
+    canonical_scheduler_name,
+    make_scheduler,
+    parse_spec,
+)
 from repro.dynpar import MODELS, make_model
 from repro.functional import BFSProgram, DeviceMemory, run_functional_kernel
 from repro.gpu import Engine, GPUConfig, KernelSpec, SimStats
@@ -50,6 +62,7 @@ __all__ = [
     "APPLICATIONS",
     "BENCHMARKS",
     "BFSProgram",
+    "ComposedScheduler",
     "DeviceMemory",
     "Engine",
     "FootprintResult",
@@ -57,15 +70,19 @@ __all__ = [
     "GridResult",
     "KernelSpec",
     "MODELS",
+    "NAMED_COMPOSITIONS",
     "OccupancyTimeline",
     "ResultCache",
     "RunSpec",
     "SCHEDULERS",
     "SCHEDULER_ORDER",
+    "SchedulerSpec",
     "SimStats",
     "ThrottledScheduler",
     "Workload",
     "analyze_footprint",
+    "canonical_scheduler_name",
+    "parse_spec",
     "experiment_config",
     "inter_tb_reuse",
     "iter_benchmarks",

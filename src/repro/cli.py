@@ -29,12 +29,17 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro.core import SCHEDULER_ORDER, SCHEDULERS
+from repro.core import SCHEDULER_ORDER, describe_components
 from repro.dynpar import MODELS
 from repro.gpu.config import KEPLER_K20C
 from repro.harness.cache import ResultCache
 from repro.harness.execution import Executor, RunSpec, make_executor
-from repro.harness.registry import benchmark_names, experiment_config, load_benchmark
+from repro.harness.registry import (
+    benchmark_names,
+    experiment_config,
+    load_benchmark,
+    scheduler_catalog,
+)
 from repro.harness.report import (
     render_config,
     render_footprints,
@@ -81,9 +86,15 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:")
     for name in benchmark_names():
         print(f"  {name}")
+    catalog = scheduler_catalog()
+    width = max(len(row["name"]) for row in catalog)
     print("\nschedulers (append +throttle for contention-aware TB throttling):")
-    for name in SCHEDULER_ORDER:
-        print(f"  {name}")
+    for row in catalog:
+        origin = "paper" if row["paper"] else "composed"
+        print(f"  {row['name']:<{width}}  {row['spec']}  [{origin}]")
+    print("\nscheduler spec grammar (-s accepts any composition):")
+    for axis, values in describe_components().items():
+        print(f"  {axis} = {' | '.join(values)}")
     print("\nlaunch models:")
     for name in MODELS:
         print(f"  {name}")
@@ -126,21 +137,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     executor = _executor_from_args(args)
-    specs = {
-        scheduler: RunSpec.create(
+    specs: dict[str, RunSpec] = {}
+    for scheduler in SCHEDULER_ORDER + (args.scheduler or []):
+        spec = RunSpec.create(
             args.benchmark, scheduler, args.model, scale=args.scale, seed=args.seed
         )
-        for scheduler in SCHEDULER_ORDER
-    }
+        specs.setdefault(spec.scheduler, spec)  # canonical label; dedup spellings
     print(f"comparing schedulers on {args.benchmark} ({args.scale}) ...", file=sys.stderr)
     results = executor.run(list(specs.values()))
+    width = max(14, max(len(name) for name in specs))
     base = None
     for scheduler, spec in specs.items():
         stats = results[spec]
         if base is None:
             base = stats.ipc
         print(
-            f"{scheduler:14s} IPC={stats.ipc:6.2f} ({stats.ipc / base:5.2f}x)  "
+            f"{scheduler:{width}s} IPC={stats.ipc:6.2f} ({stats.ipc / base:5.2f}x)  "
             f"L1={stats.l1_hit_rate:.3f}  L2={stats.l2_hit_rate:.3f}  "
             f"child wait={stats.child_mean_wait:7.0f}  "
             f"co-located={stats.child_same_cluster_fraction:.2f}  "
@@ -158,6 +170,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
     print("running the evaluation grid (this takes a few minutes) ...", file=sys.stderr)
     grid = run_grid(
         workloads,
+        schedulers=tuple(args.schedulers) if args.schedulers else tuple(SCHEDULER_ORDER),
         models=tuple(args.models),
         scale=args.scale,
         executor=_executor_from_args(args),
@@ -184,10 +197,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         assert_valid_trace,
     )
 
+    from repro.core import canonical_scheduler_name
+
     workload = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     config = experiment_config()
-    trace_sink = ChromeTraceSink(num_smx=config.num_smx)
-    metrics = MetricsSink()
+    label = canonical_scheduler_name(args.scheduler)
+    trace_sink = ChromeTraceSink(num_smx=config.num_smx, label=label)
+    metrics = MetricsSink(label=label)
     print(
         f"tracing {workload.full_name} ({args.scale}) "
         f"under {args.scheduler}/{args.model} ...",
@@ -323,12 +339,23 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="run all four schedulers on one benchmark")
     cmp_p.add_argument("benchmark", choices=benchmark_names())
     cmp_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    cmp_p.add_argument(
+        "-s", "--scheduler", action="append", metavar="SPEC",
+        help="extra scheduler rows beyond the paper's four: a composition "
+        "name or spec string like 'pri=level,bind=smx,steal=backup' "
+        "(repeatable)",
+    )
     _add_scale(cmp_p)
     _add_execution(cmp_p)
 
     grid_p = sub.add_parser("grid", help="run the Figures 7/8/9 evaluation grid")
     grid_p.add_argument("--benchmarks", nargs="*", help="subset (default: all 16)")
     grid_p.add_argument("--models", nargs="*", default=["cdp", "dtbl"], choices=sorted(MODELS))
+    grid_p.add_argument(
+        "--schedulers", nargs="*", metavar="SPEC",
+        help="scheduler rows: composition names or spec strings "
+        "(default: the paper's four)",
+    )
     grid_p.add_argument("-o", "--output", help="also export results (.json or .csv)")
     _add_scale(grid_p)
     _add_execution(grid_p)

@@ -1,7 +1,21 @@
-"""The paper's contribution: LaPerm TB schedulers and their queues."""
+"""The paper's contribution: LaPerm TB schedulers and their queues.
+
+Every policy is a composition of components (priority, placement,
+stealing, admission) hosted by :class:`ComposedScheduler`; see
+:mod:`repro.core.components` for the axes and the spec grammar.
+"""
 
 from repro.core.adaptive_bind import AdaptiveBindScheduler
 from repro.core.base import TBScheduler
+from repro.core.components import (
+    NAMED_COMPOSITIONS,
+    SchedulerSpec,
+    canonical_scheduler_name,
+    describe_components,
+    parse_spec,
+    resolve_scheduler,
+)
+from repro.core.composed import ComposedScheduler
 from repro.core.queues import Entry, MultiLevelQueue
 from repro.core.rr import RoundRobinScheduler
 from repro.core.smx_bind import SMXBindScheduler
@@ -18,38 +32,45 @@ SCHEDULERS = {
 #: the paper's ordering for figures: baseline first, then LaPerm variants
 SCHEDULER_ORDER = ["rr", "tb-pri", "smx-bind", "adaptive-bind"]
 
+#: composed policies the spec grammar unlocks beyond the paper's four,
+#: in report order (used by ``repro list`` and the benchmark grid)
+COMPOSED_ORDER = [name for name in NAMED_COMPOSITIONS if name not in SCHEDULERS]
+
 
 def make_scheduler(name: str) -> TBScheduler:
-    """Construct a TB scheduler by name.
+    """Construct a TB scheduler by name or spec string.
 
-    A ``+throttle`` suffix (e.g. ``"adaptive-bind+throttle"``) wraps the
-    policy with contention-aware TB throttling (Section IV-F / [12]).
+    Accepts the named compositions (``"adaptive-bind"``), spec strings
+    from the component grammar (``"pri=level,bind=smx,steal=backup"``,
+    aliases like ``bind=parent-smx-bind`` included), and a ``+throttle``
+    suffix on either, which composes contention-aware TB throttling
+    (Section IV-F / [12]) into the policy.
     """
-    base_name, _, modifier = name.partition("+")
-    try:
-        scheduler = SCHEDULERS[base_name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {name!r}; expected one of {sorted(SCHEDULERS)} "
-            "optionally suffixed with '+throttle'"
-        ) from None
-    if modifier == "throttle":
-        scheduler = ThrottledScheduler(scheduler)
-    elif modifier:
-        raise ValueError(f"unknown scheduler modifier {modifier!r}")
-    return scheduler
+    canonical, spec = resolve_scheduler(name)
+    preset = SCHEDULERS.get(canonical)
+    if preset is not None:
+        return preset()
+    return ComposedScheduler(spec, name=canonical)
 
 
 __all__ = [
     "AdaptiveBindScheduler",
+    "COMPOSED_ORDER",
+    "ComposedScheduler",
     "Entry",
     "MultiLevelQueue",
+    "NAMED_COMPOSITIONS",
     "RoundRobinScheduler",
     "SCHEDULERS",
     "SCHEDULER_ORDER",
     "SMXBindScheduler",
+    "SchedulerSpec",
     "TBPriScheduler",
     "TBScheduler",
     "ThrottledScheduler",
+    "canonical_scheduler_name",
+    "describe_components",
     "make_scheduler",
+    "parse_spec",
+    "resolve_scheduler",
 ]

@@ -1,112 +1,31 @@
 """Adaptive Prioritized SMX Binding (Adaptive-Bind — the full LaPerm
 scheduler, paper Section IV-C and Fig 6).
 
-SMX-Bind plus a third dispatch stage: when the current SMX's own queues
-*and* the global parent queue are both empty, the SMX adopts a *backup* —
-the priority queues of another SMX — and executes TBs bound there. The
-backup choice is recorded and reused until it drains ("fixed backup
-scheme"), which (i) keeps stolen siblings together on the thief SMX and
-(ii) avoids repeated reconfiguration overhead.
+Composition: ``pri=level, bind=smx, steal=backup`` — SMX-Bind plus a
+third dispatch stage: when the current SMX's own queues *and* the global
+parent queue are both empty, the SMX adopts a *backup* — the priority
+queues of another SMX — and executes TBs bound there. The backup choice
+is recorded and reused until it drains ("fixed backup scheme"), which
+(i) keeps stolen siblings together on the thief SMX and (ii) avoids
+repeated reconfiguration overhead. ``fixed_backup=False`` selects the
+ablated ``steal=rescan`` variant that re-scans for a victim on every
+stage-3 dispatch.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
 
-from repro.core.queues import Entry
-from repro.core.smx_bind import SMXBindScheduler
-from repro.gpu.kernel import ThreadBlock
-from repro.telemetry.events import WorkStolen
+from repro.core.components import NAMED_COMPOSITIONS
+from repro.core.composed import ComposedScheduler
 
 
-class AdaptiveBindScheduler(SMXBindScheduler):
-    name = "adaptive-bind"
+class AdaptiveBindScheduler(ComposedScheduler):
+    """The ``adaptive-bind`` preset: ``pri=level,bind=smx,steal=backup``."""
 
     def __init__(self, fixed_backup: bool = True) -> None:
-        """``fixed_backup=False`` disables the recorded-backup scheme
-        (Section IV-C's design choice): every stage-3 dispatch re-scans
-        for a victim instead of draining one queue set. Used by the
-        ablation benchmarks."""
-        super().__init__()
+        spec = NAMED_COMPOSITIONS["adaptive-bind"]
+        if not fixed_backup:
+            spec = replace(spec, steal="rescan")
+        super().__init__(spec, name="adaptive-bind" if fixed_backup else None)
         self.fixed_backup = fixed_backup
-        self._backup: list[Optional[int]] = []
-        self.steals = 0
-        # True once a stage-3 scan found no victim during the current
-        # dispatch call; no queue gains a head mid-call, so later probes in
-        # the same rotation skip the scan (reset by dispatch)
-        self._stage3_dry = False
-
-    def attach(self, engine) -> None:
-        super().attach(engine)
-        self._backup = [None] * engine.config.num_smx
-
-    def dispatch(self, now: int) -> Optional[ThreadBlock]:
-        self._stage3_dry = False
-        return super().dispatch(now)
-
-    def _backup_candidate(self, smx_id: int) -> Optional[tuple[Entry, int]]:
-        """Stage 3: TBs bound to another SMX, adopted by the current one.
-
-        Returns ``(entry, victim_cluster)`` so the caller can attribute
-        the steal."""
-        queues = self._smx_queues
-        if not self._bound_any or self._stage3_dry:
-            # no bound queue holds entries anywhere (or this dispatch call
-            # already scanned dry): the recorded backup (if any) is drained
-            # and the scan below would find nothing
-            self._backup[smx_id] = None
-            return None
-        recorded = self._backup[smx_id] if self.fixed_backup else None
-        if recorded is not None:
-            entry = queues[recorded].head()
-            if entry is not None:
-                return entry, recorded
-            self._backup[smx_id] = None
-        # find and record the next non-empty queue set (a cluster's),
-        # scanning from the current SMX's cluster onward so steals spread
-        # across victims; the O(1) entry counter skips drained queue sets
-        # without paying head()'s per-level walk
-        own = self._cluster_of[smx_id]
-        num_clusters = len(queues)
-        for i in range(1, num_clusters + 1):
-            victim = (own + i) % num_clusters
-            queue = queues[victim]
-            if not queue.entries or victim == own:
-                continue
-            entry = queue.head()
-            if entry is not None:
-                self._backup[smx_id] = victim
-                return entry, victim
-        self._stage3_dry = True
-        return None
-
-    def _candidate_for(self, smx_id: int, now: int) -> Optional[Entry]:
-        # stages 1-2, inlined from SMXBindScheduler._candidate_for (the
-        # super() chain is measurable in the per-cycle dispatch stage)
-        if self._bound_any:
-            queue = self._smx_queues[self._cluster_of[smx_id]]
-            if queue.entries:
-                entry = queue.head()
-                if entry is not None:
-                    return entry
-        entry = self._global_head()
-        if entry is not None:
-            return entry
-        adopted = self._backup_candidate(smx_id)  # stage 3
-        if adopted is None:
-            return None
-        entry, victim = adopted
-        self.steals += 1
-        telemetry = self.engine.telemetry
-        if telemetry.enabled:
-            tb = entry.peek()
-            telemetry.emit(
-                WorkStolen(
-                    time=now,
-                    thief_smx_id=smx_id,
-                    victim_cluster=victim,
-                    tb_id=tb.tb_id,
-                    priority=tb.priority,
-                )
-            )
-        return entry

@@ -3,7 +3,9 @@
 A scheduler owns the pool of dispatchable thread blocks and is invoked
 once per cycle by the engine; it may place at most one TB on one SMX per
 cycle (the dispatch-stage bandwidth of the baseline hardware, Section
-II-B). Concrete policies: :class:`~repro.core.rr.RoundRobinScheduler`,
+II-B). Every shipped policy is a composition of components hosted by
+:class:`~repro.core.composed.ComposedScheduler`; the paper's four
+schedulers are the named presets :class:`~repro.core.rr.RoundRobinScheduler`,
 :class:`~repro.core.tb_pri.TBPriScheduler`,
 :class:`~repro.core.smx_bind.SMXBindScheduler`, and
 :class:`~repro.core.adaptive_bind.AdaptiveBindScheduler` (full LaPerm).
@@ -34,8 +36,11 @@ class TBScheduler(ABC):
     #: The engine then skips dispatch until a queue- or resource-changing
     #: event (delivery, kernel admission, TB retire, placement) occurs.
     #: Policies with time-gated side effects inside dispatch (e.g. the
-    #: throttling wrapper's cap adjustment) must set this False.
+    #: throttle admission component's cap adjustment) must set this False.
     idle_dispatch_pure: bool = True
+    #: stage-3 work-steal count; stealing policies shadow this with an
+    #: instance counter, everything else reports 0
+    steals: int = 0
 
     def __init__(self) -> None:
         self.engine: Optional["Engine"] = None

@@ -1,75 +1,22 @@
 """Baseline round-robin TB scheduler (paper Section II-B / III-B).
 
-Kernels execute FCFS: the scheduler always draws the next TB (in TB-id
-order) from the earliest-arrived kernel that still has undispatched TBs,
-and places it on the next SMX (rotating) with sufficient resources. DTBL
-groups appended to a kernel's pool are dispatched after all of its native
-TBs; CDP device kernels queue FCFS behind every earlier kernel. Priorities
-are ignored — this is exactly the behaviour LaPerm improves upon.
+Composition: ``pri=fifo, bind=any`` — kernels execute FCFS (the
+scheduler always draws the next TB, in TB-id order, from the
+earliest-arrived kernel that still has undispatched TBs) and land on the
+next SMX (rotating) with sufficient resources. DTBL groups appended to a
+kernel's pool are dispatched after all of its native TBs; CDP device
+kernels queue FCFS behind every earlier kernel. Priorities are ignored —
+this is exactly the behaviour LaPerm improves upon.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-from repro.core.base import TBScheduler
-from repro.gpu.kernel import Kernel, ThreadBlock
+from repro.core.components import NAMED_COMPOSITIONS
+from repro.core.composed import ComposedScheduler
 
 
-class RoundRobinScheduler(TBScheduler):
-    name = "rr"
-    prioritized_kmu = False
+class RoundRobinScheduler(ComposedScheduler):
+    """The ``rr`` preset: ``pri=fifo,bind=any,steal=none,admit=none``."""
 
     def __init__(self) -> None:
-        super().__init__()
-        # KDU-resident kernels in arrival order, with per-kernel cursors
-        self._kernels: list[Kernel] = []
-        self._cursors: dict[int, int] = {}
-        self._smx_ptr = 0
-
-    def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
-        self._kernels.append(kernel)
-        self._cursors[kernel.kernel_id] = 0
-
-    def on_tb_group(self, kernel: Kernel, tbs: Sequence[ThreadBlock], now: int) -> None:
-        # the group was appended to the kernel's pool; the FCFS cursor will
-        # reach it after the native TBs — nothing to do
-        pass
-
-    def _next_tb(self) -> Optional[ThreadBlock]:
-        # drop head kernels whose pool can never grow again: a kernel with
-        # running TBs may still launch groups into its own pool, so only a
-        # *complete* kernel (all TBs retired, no launches in flight) is safe
-        # to forget
-        while self._kernels:
-            kernel = self._kernels[0]
-            if kernel.complete:
-                self._kernels.pop(0)
-                del self._cursors[kernel.kernel_id]
-                continue
-            break
-        # FCFS: earliest-arrived kernel with an undispatched TB. A kernel
-        # whose pool is exhausted but still has groups in flight is skipped
-        # for now (later kernels' TBs arrived before the future group).
-        for kernel in self._kernels:
-            cursor = self._cursors[kernel.kernel_id]
-            if cursor < len(kernel.tbs):
-                return kernel.tbs[cursor]
-        return None
-
-    def has_pending(self) -> bool:
-        return self._next_tb() is not None
-
-    def dispatch(self, now: int) -> Optional[ThreadBlock]:
-        tb = self._next_tb()
-        if tb is None:
-            return None
-        num_smx = len(self.engine.smxs)
-        for i in range(num_smx):
-            idx = (self._smx_ptr + i) % num_smx
-            smx = self.engine.smxs[idx]
-            if smx.can_fit(tb):
-                self._cursors[tb.kernel.kernel_id] += 1
-                self._smx_ptr = (idx + 1) % num_smx
-                return self._place(tb, smx, now)
-        return None
+        super().__init__(NAMED_COMPOSITIONS["rr"], name="rr")

@@ -1,157 +1,36 @@
 """Prioritized SMX Binding scheduler (SMX-Bind, paper Section IV-B).
 
-Extends TB-Pri with per-SMX priority queues (Fig 5c): a dynamic TB is
-pushed to the queues of the SMX that executed its *direct parent*, so it
-shares that SMX's L1 with the parent (and its siblings). The level-0 queue
-of host-launched (parent) kernels stays global and is drained round-robin.
+Composition: ``pri=level, bind=smx`` — TB-Pri plus per-SMX priority
+queues (Fig 5c): a dynamic TB is pushed to the queues of the SMX that
+executed its *direct parent*, so it shares that SMX's L1 with the parent
+(and its siblings). The level-0 queue of host-launched (parent) kernels
+stays global and is drained round-robin.
 
 The dispatch stage examines one SMX per cycle (Fig 6):
 
 1. highest-priority TB in the current SMX's own queues, else
 2. the next parent TB from the shared level-0 queue.
 
-Without stage 3 (see Adaptive-Bind) an SMX whose queues run dry after the
-parents are gone simply idles — the load-imbalance problem Section IV-B
-describes.
+Without stage 3 (see Adaptive-Bind, ``steal=backup``) an SMX whose
+queues run dry after the parents are gone simply idles — the
+load-imbalance problem Section IV-B describes.
 
 On cluster-organized GPUs (``GPUConfig.smxs_per_cluster > 1``) the L1 is
 shared by the cluster, the priority queues are associated with the whole
 cluster, and children bind to *any* SMX of their direct parent's cluster,
 dispatched round-robin within it — exactly the paper's cluster variant.
+``bind=l2`` generalizes the same mechanism to coarser L2 neighborhoods
+(see :class:`~repro.core.components.BindPlacement`).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Optional, Sequence
-
-from repro.core.base import TBScheduler
-from repro.core.queues import Entry, MultiLevelQueue
-from repro.gpu.kernel import Kernel, ThreadBlock
-from repro.telemetry.events import QueueOverflow
+from repro.core.components import NAMED_COMPOSITIONS
+from repro.core.composed import ComposedScheduler
 
 
-class SMXBindScheduler(TBScheduler):
-    name = "smx-bind"
-    prioritized_kmu = True
+class SMXBindScheduler(ComposedScheduler):
+    """The ``smx-bind`` preset: ``pri=level,bind=smx,steal=none,admit=none``."""
 
     def __init__(self) -> None:
-        super().__init__()
-        self._smx_queues: list[MultiLevelQueue] = []
-        self._global: deque[Entry] = deque()  # level-0: host kernels
-        self._smx_ptr = -1  # advanced before use: starts at SMX 0
-        # True when any bound (per-cluster) queue held entries at the start
-        # of the current dispatch call; queues only gain entries between
-        # dispatch calls, so the flag is valid for the whole SMX rotation
-        self._bound_any = True
-
-    def attach(self, engine) -> None:
-        super().attach(engine)
-        config = engine.config
-        # the on-chip SRAM holds 128 entries per SMX for DTBL groups but is
-        # limited to the 32 KDU entries when the dynamic units are CDP
-        # kernels (Section IV-E). One queue set per cluster (== per SMX on
-        # Kepler, where clusters are single SMXs).
-        capacity = 32 if engine.dynpar.name == "cdp" else config.onchip_queue_entries
-        self._smx_queues = [
-            MultiLevelQueue(config.max_priority_levels, capacity=capacity)
-            for _ in range(config.num_clusters)
-        ]
-        # SMX id -> cluster id, flattened for the per-cycle dispatch loop
-        self._cluster_of = [config.cluster_of(i) for i in range(config.num_smx)]
-        telemetry = engine.telemetry
-        if telemetry.enabled:
-            for cluster, queue in enumerate(self._smx_queues):
-                queue.on_overflow = (
-                    lambda entry, now, _c=cluster, _q=queue: telemetry.emit(
-                        QueueOverflow(
-                            time=now,
-                            cluster=_c,
-                            level=entry.level,
-                            total_entries=_q.total_entries + 1,
-                        )
-                    )
-                )
-
-    # ----- queue maintenance -------------------------------------------------
-    def _bind_cluster(self, parent: Optional[ThreadBlock]) -> int:
-        if parent is None or parent.smx_id is None:
-            raise RuntimeError("dynamic work arrived without a placed direct parent")
-        return self.engine.config.cluster_of(parent.smx_id)
-
-    def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
-        if kernel.parent is None:
-            self._global.append(Entry(list(kernel.tbs), 0))
-        else:
-            cluster = self._bind_cluster(kernel.parent)
-            self._smx_queues[cluster].push(Entry(list(kernel.tbs), kernel.priority), now)
-
-    def on_tb_group(self, kernel: Kernel, tbs: Sequence[ThreadBlock], now: int) -> None:
-        cluster = self._bind_cluster(tbs[0].parent)
-        self._smx_queues[cluster].push(Entry(tbs, tbs[0].priority), now)
-
-    def _global_head(self) -> Optional[Entry]:
-        while self._global and self._global[0].empty:
-            self._global.popleft()
-        return self._global[0] if self._global else None
-
-    # ----- dispatch ------------------------------------------------------------
-    def _candidate_for(self, smx_id: int, now: int) -> Optional[Entry]:
-        """Stages 1-2 of the LaPerm flow for the current SMX."""
-        if self._bound_any:
-            queue = self._smx_queues[self._cluster_of[smx_id]]
-            if queue.entries:
-                entry = queue.head()
-                if entry is not None:
-                    return entry
-        return self._global_head()
-
-    def has_pending(self) -> bool:
-        if self._global_head() is not None:
-            return True
-        return any(q.head() is not None for q in self._smx_queues)
-
-    def dispatch(self, now: int) -> Optional[ThreadBlock]:
-        """One dispatch per cycle: rotate over the SMXs and place the first
-        SMX's candidate that fits. An SMX whose own (bound) candidate does
-        not fit yet does not block the other SMXs' dispatching."""
-        bound_any = False
-        for queue in self._smx_queues:
-            if queue.entries:
-                bound_any = True
-                break
-        self._bound_any = bound_any
-        if not bound_any and not self._global:
-            return None  # cheap all-empty fast path
-        smxs = self.engine.smxs
-        num_smx = len(smxs)
-        for i in range(1, num_smx + 1):
-            smx_id = (self._smx_ptr + i) % num_smx
-            smx = smxs[smx_id]
-            if smx.free_tb_slots == 0:
-                continue
-            entry = self._candidate_for(smx_id, now)
-            if entry is None:
-                continue
-            tb = entry.peek()
-            if not smx.can_fit(tb):
-                continue
-            delay = entry.dispatch_penalty(self.engine.config.queue_overflow_penalty)
-            entry.pop()
-            self._smx_ptr = smx_id
-            return self._place(tb, smx, now, delay=delay)
-        return None
-
-    @property
-    def queue_high_water(self) -> int:
-        return max((q.entry_high_water for q in self._smx_queues), default=0)
-
-    @property
-    def overflow_events(self) -> int:  # type: ignore[override]
-        return sum(q.overflow_events for q in self._smx_queues)
-
-    @overflow_events.setter
-    def overflow_events(self, value: int) -> None:
-        # base class initializes the counter; per-queue counters are
-        # authoritative, so the assignment is accepted and ignored
-        pass
+        super().__init__(NAMED_COMPOSITIONS["smx-bind"], name="smx-bind")

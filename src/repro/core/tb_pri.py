@@ -1,59 +1,22 @@
 """TB Prioritizing scheduler (TB-Pri, paper Section IV-A).
 
-Dynamic TBs receive priority = direct parent's priority + 1 (clamped at
-the maximum nesting level L) and are dispatched before any lower-priority
-TB. Placement across SMXs remains round-robin, so the benefit is temporal:
-children execute soon after their parents, improving mostly L2 reuse.
+Composition: ``pri=level, bind=any`` — dynamic TBs receive priority =
+direct parent's priority + 1 (clamped at the maximum nesting level L)
+and are dispatched from a global multi-level queue (Fig 5a/b) before any
+lower-priority TB. The queue lives in global memory: no on-chip capacity
+limit, no overflow penalty (Section IV-E). Placement across SMXs remains
+round-robin, so the benefit is temporal: children execute soon after
+their parents, improving mostly L2 reuse.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-from repro.core.base import TBScheduler
-from repro.core.queues import Entry, MultiLevelQueue
-from repro.gpu.kernel import Kernel, ThreadBlock
+from repro.core.components import NAMED_COMPOSITIONS
+from repro.core.composed import ComposedScheduler
 
 
-class TBPriScheduler(TBScheduler):
-    name = "tb-pri"
-    prioritized_kmu = True
+class TBPriScheduler(ComposedScheduler):
+    """The ``tb-pri`` preset: ``pri=level,bind=any,steal=none,admit=none``."""
 
     def __init__(self) -> None:
-        super().__init__()
-        self._queue: Optional[MultiLevelQueue] = None
-        self._smx_ptr = 0
-
-    def attach(self, engine) -> None:
-        super().attach(engine)
-        # TB-Pri's queues live in global memory (Fig 5a/b): no on-chip
-        # capacity limit; dispatch-path overheads are hidden (Section IV-E)
-        self._queue = MultiLevelQueue(engine.config.max_priority_levels)
-
-    def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
-        self._queue.push(Entry(list(kernel.tbs), kernel.priority), now)
-
-    def on_tb_group(self, kernel: Kernel, tbs: Sequence[ThreadBlock], now: int) -> None:
-        self._queue.push(Entry(tbs, tbs[0].priority), now)
-
-    def has_pending(self) -> bool:
-        return self._queue.head() is not None
-
-    @property
-    def queue_high_water(self) -> int:
-        return self._queue.entry_high_water if self._queue is not None else 0
-
-    def dispatch(self, now: int) -> Optional[ThreadBlock]:
-        entry = self._queue.head()
-        if entry is None:
-            return None
-        tb = entry.peek()
-        num_smx = len(self.engine.smxs)
-        for i in range(num_smx):
-            idx = (self._smx_ptr + i) % num_smx
-            smx = self.engine.smxs[idx]
-            if smx.can_fit(tb):
-                entry.pop()
-                self._smx_ptr = (idx + 1) % num_smx
-                return self._place(tb, smx, now)
-        return None
+        super().__init__(NAMED_COMPOSITIONS["tb-pri"], name="tb-pri")

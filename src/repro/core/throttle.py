@@ -3,14 +3,16 @@
 The paper notes that LaPerm's small L1 "may result in not fitting enough
 reusable data of the parent and child TBs, which can benefit from the
 incorporation of contention-based TB control strategies" such as the
-lazy-CTA-scheduling of [12]. This module provides that composition: a
-wrapper around any TB scheduler that periodically adjusts each SMX's
-residency cap from its (cluster's) windowed L1 hit rate —
+lazy-CTA-scheduling of [12]. The mechanism itself lives in
+:class:`~repro.core.components.ThrottleAdmission` — the ``admit=throttle``
+component axis — and ``make_scheduler("x+throttle")`` composes it
+directly into the :class:`~repro.core.composed.ComposedScheduler`.
 
-* hit rate below ``low_watermark``  → reduce the cap (less thrashing),
-* hit rate above ``high_watermark`` → raise the cap (more parallelism).
-
-The wrapped scheduler is untouched; throttling only changes how many TBs
+:class:`ThrottledScheduler` remains as a generic wrapper for schedulers
+that are *not* composed (e.g. hand-written experimental policies): it
+forwards every scheduler hook to the wrapped instance and runs the same
+admission component on the wrapper's dispatch path. The wrapped
+scheduler is untouched; throttling only changes how many TBs
 ``SMX.can_fit`` admits, exactly as a hardware pause signal would.
 """
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.base import TBScheduler
+from repro.core.components import ThrottleAdmission
 from repro.gpu.kernel import Kernel, ThreadBlock
 
 
@@ -40,28 +43,22 @@ class ThrottledScheduler(TBScheduler):
         min_window_accesses: int = 32,
     ) -> None:
         super().__init__()
-        if interval < 1:
-            raise ValueError("interval must be positive")
-        if not 0.0 <= low_watermark <= high_watermark <= 1.0:
-            raise ValueError("need 0 <= low_watermark <= high_watermark <= 1")
+        self.admission = ThrottleAdmission(
+            interval=interval,
+            low_watermark=low_watermark,
+            high_watermark=high_watermark,
+            min_cap=min_cap,
+            min_window_accesses=min_window_accesses,
+        )
         self.inner = inner
         self.name = f"{inner.name}+throttle"
         self.prioritized_kmu = inner.prioritized_kmu
-        self.interval = interval
-        self.low_watermark = low_watermark
-        self.high_watermark = high_watermark
-        self.min_cap = min_cap
-        self.min_window_accesses = min_window_accesses
-        self._next_adjust = interval
-        # per-SMX L1 counter snapshots for windowed hit rates
-        self._snapshots: list[tuple[int, int]] = []
-        self.adjustments = 0
 
     # ----- delegation ---------------------------------------------------------
     def attach(self, engine) -> None:
         super().attach(engine)
         self.inner.attach(engine)
-        self._snapshots = [(0, 0)] * engine.config.num_smx
+        self.admission.setup(engine)
 
     def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
         self.inner.on_kernel_arrival(kernel, now)
@@ -85,34 +82,22 @@ class ThrottledScheduler(TBScheduler):
         return self.inner.queue_high_water
 
     @property
-    def steals(self) -> int:
+    def steals(self) -> int:  # type: ignore[override]
         """Stage-3 adoptions of the wrapped policy (0 if it never steals)."""
-        return getattr(self.inner, "steals", 0)
+        return self.inner.steals
+
+    @property
+    def adjustments(self) -> int:
+        """Residency-cap adjustments made by the admission component."""
+        return self.admission.adjustments
+
+    @property
+    def interval(self) -> int:
+        return self.admission.interval
 
     # ----- throttling ------------------------------------------------------------
-    def _adjust_caps(self) -> None:
-        engine = self.engine
-        max_cap = engine.config.max_tbs_per_smx
-        for smx in engine.smxs:
-            l1 = engine.memory.l1s[smx.smx_id].stats
-            last_hits, last_accesses = self._snapshots[smx.smx_id]
-            accesses = l1.accesses - last_accesses
-            hits = l1.hits - last_hits
-            self._snapshots[smx.smx_id] = (l1.hits, l1.accesses)
-            if accesses < self.min_window_accesses:
-                continue  # not enough signal in this window
-            hit_rate = hits / accesses
-            if hit_rate < self.low_watermark and smx.dynamic_cap > self.min_cap:
-                smx.dynamic_cap -= 1
-                self.adjustments += 1
-            elif hit_rate > self.high_watermark and smx.dynamic_cap < max_cap:
-                smx.dynamic_cap += 1
-                self.adjustments += 1
-
     def dispatch(self, now: int) -> Optional[ThreadBlock]:
-        if now >= self._next_adjust:
-            self._adjust_caps()
-            self._next_adjust = now + self.interval
+        self.admission.tick(now)
         return self.inner.dispatch(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

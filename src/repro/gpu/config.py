@@ -68,6 +68,11 @@ class GPUConfig:
     # SMXs of a cluster and LaPerm binds children to the whole cluster
     # (paper Section IV-B, [25]); 1 = private L1 per SMX (Kepler)
     smxs_per_cluster: int = 1
+    # SMXs per L2 neighborhood: the coarser grouping used by the composed
+    # ``bind=l2`` placement (children bind to any SMX of their parent's L2
+    # neighborhood). Rounded up to whole L1 clusters; the last group takes
+    # the remainder when num_smx does not divide evenly.
+    smxs_per_l2_cluster: int = 4
     max_threads_per_smx: int = 2048
     max_tbs_per_smx: int = 16
     max_registers_per_smx: int = 65536
@@ -123,6 +128,8 @@ class GPUConfig:
             raise ValueError("need at least one SMX")
         if self.smxs_per_cluster < 1 or self.num_smx % self.smxs_per_cluster:
             raise ValueError("num_smx must be a multiple of smxs_per_cluster")
+        if self.smxs_per_l2_cluster < 1:
+            raise ValueError("smxs_per_l2_cluster must be positive")
         if self.l1.line_bytes != self.line_bytes or self.l2.line_bytes != self.line_bytes:
             raise ValueError("L1/L2 line size must match GPUConfig.line_bytes")
         if self.warp_scheduler not in ("gto", "lrr", "tl"):
@@ -141,6 +148,21 @@ class GPUConfig:
     def cluster_of(self, smx_id: int) -> int:
         """Cluster index of an SMX."""
         return smx_id // self.smxs_per_cluster
+
+    @property
+    def _clusters_per_l2_group(self) -> int:
+        """Whole L1 clusters per L2 neighborhood (at least one)."""
+        return max(1, self.smxs_per_l2_cluster // self.smxs_per_cluster)
+
+    @property
+    def num_l2_clusters(self) -> int:
+        """Number of L2 neighborhoods (``bind=l2`` placement domains)."""
+        per_group = self._clusters_per_l2_group
+        return (self.num_clusters + per_group - 1) // per_group
+
+    def l2_cluster_of(self, smx_id: int) -> int:
+        """L2 neighborhood index of an SMX (whole-L1-cluster granular)."""
+        return self.cluster_of(smx_id) // self._clusters_per_l2_group
 
     def with_overrides(self, **kwargs) -> "GPUConfig":
         """Return a copy with the given fields replaced."""

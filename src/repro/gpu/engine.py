@@ -305,12 +305,12 @@ class Engine:
             else:
                 retired = False
             if dispatch_dirty:
-                steals_before = getattr(scheduler, "steals", 0)
+                steals_before = scheduler.steals
                 placed_tb = dispatch(now)
                 if placed_tb is not None:
                     # a freshly placed TB may issue this very cycle
                     self._wake_smx(smxs[placed_tb.smx_id], now)
-                elif dispatch_pure and getattr(scheduler, "steals", 0) == steals_before:
+                elif dispatch_pure and scheduler.steals == steals_before:
                     dispatch_dirty = False
             else:
                 placed_tb = None
@@ -361,7 +361,7 @@ class Engine:
                     stalled += 1
                     if stalled > stall_budget:
                         raise DeadlockError(
-                            f"dispatch cannot place any pending TB "
+                            "dispatch cannot place any pending TB "
                             f"(cycle {now}, {self._live_tbs} live TBs)"
                         )
                 else:
@@ -400,7 +400,7 @@ class Engine:
         stats.per_smx_busy_cycles = [s.issue_cycles for s in self.smxs]
         stats.per_smx_tbs = [s.tbs_executed for s in self.smxs]
         stats.scheduler_overflow_events = self.scheduler.overflow_events
-        stats.work_steals = getattr(self.scheduler, "steals", 0)
+        stats.work_steals = self.scheduler.steals
         stats.scheduler_queue_high_water = self.scheduler.queue_high_water
         stats.kdu_high_water = self.kdu.high_water
         stats.kmu_pending_high_water = self.kmu.pending_high_water

@@ -33,7 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence
 
-from repro.core import make_scheduler
+from repro.core import canonical_scheduler_name, make_scheduler
 from repro.dynpar import make_model
 from repro.gpu.config import GPUConfig
 from repro.gpu.engine import Engine
@@ -76,6 +76,12 @@ class RunSpec:
     experiment machine at construction time, so
     ``RunSpec("amr", "rr", "dtbl")`` equals
     ``RunSpec.create("amr", "rr", "dtbl")``.
+
+    ``scheduler`` accepts any spelling the component grammar resolves —
+    named compositions, spec strings, aliases, ``+throttle`` — and
+    normalizes to the canonical label at construction time, so
+    ``"pri=level,bind=smx,steal=backup"`` and ``"adaptive-bind"`` denote
+    the same spec and share one cache address.
     """
 
     benchmark: str
@@ -87,6 +93,9 @@ class RunSpec:
     max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
 
     def __post_init__(self) -> None:
+        canonical = canonical_scheduler_name(self.scheduler)
+        if canonical != self.scheduler:
+            object.__setattr__(self, "scheduler", canonical)
         if not self.config_json:
             from repro.harness.registry import experiment_config
 
@@ -245,9 +254,10 @@ def run_spec_with_summary(spec: RunSpec) -> tuple[SimStats, dict]:
     return ``(stats, telemetry summary dict)``.
 
     Telemetry is a pure observer: the stats are byte-identical to a
-    :func:`run_spec` run (the determinism tests pin this).
+    :func:`run_spec` run (the determinism tests pin this). The summary is
+    labeled with the spec's canonical scheduler name.
     """
-    sink = MetricsSink()
+    sink = MetricsSink(label=spec.scheduler)
     stats = run_spec(spec, telemetry=sink)
     return stats, sink.summary(stats)
 

@@ -1,6 +1,8 @@
-"""Benchmark registry and the experiment machine configuration.
+"""Benchmark and scheduler registries, and the experiment machine.
 
-``BENCHMARKS`` lists every application+input pair of Table II.
+``BENCHMARKS`` lists every application+input pair of Table II;
+:func:`scheduler_catalog` enumerates the named policy compositions and
+their component specs (see :mod:`repro.core.components`).
 
 ``experiment_config`` returns the machine used by the evaluation harness:
 the paper's 13-SMX Kepler with capacities and caches scaled down ~2-4x so
@@ -12,6 +14,7 @@ DESIGN.md §2 and EXPERIMENTS.md document this scaling.
 
 from __future__ import annotations
 
+from repro.core import NAMED_COMPOSITIONS, SCHEDULER_ORDER
 from repro.gpu.config import CacheConfig, GPUConfig
 from repro.workloads import APPLICATIONS, Workload, make_workload
 
@@ -55,6 +58,24 @@ def iter_benchmarks(scale: str = "small", seed: int = 7):
     """Yield every Table II workload instance."""
     for app, inp in BENCHMARKS:
         yield make_workload(app, inp, scale=scale, seed=seed)
+
+
+def scheduler_catalog() -> list[dict]:
+    """Every named policy composition: ``{name, spec, paper}`` rows.
+
+    The paper's four schedulers come first (figure order), then the
+    composed policies the spec grammar unlocks. ``spec`` is the canonical
+    spec string, so each row doubles as a grammar example.
+    """
+    ordered = SCHEDULER_ORDER + [n for n in NAMED_COMPOSITIONS if n not in SCHEDULER_ORDER]
+    return [
+        {
+            "name": name,
+            "spec": NAMED_COMPOSITIONS[name].canonical,
+            "paper": name in SCHEDULER_ORDER,
+        }
+        for name in ordered
+    ]
 
 
 def experiment_config(**overrides) -> GPUConfig:

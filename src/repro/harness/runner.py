@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.core import SCHEDULER_ORDER, make_scheduler
+from repro.core import SCHEDULER_ORDER, canonical_scheduler_name, make_scheduler
 from repro.dynpar import make_model
 from repro.gpu.config import GPUConfig
 from repro.gpu.engine import Engine
@@ -213,9 +213,13 @@ def run_grid(
     layer, so a serial executor never rebuilds them; worker processes
     rebuild by (benchmark, scale, seed). Workloads outside the Table II
     registry therefore require a serial executor.
+
+    ``schedulers`` accepts any grammar spelling (named composition, spec
+    string, ``+throttle``); grid rows are keyed by canonical label.
     """
     config = config or experiment_config()
     executor = _resolve_executor(executor, jobs, cache)
+    schedulers = list(dict.fromkeys(canonical_scheduler_name(s) for s in schedulers))
     if workloads is None:
         workloads = list(iter_benchmarks(scale=scale))
     else:

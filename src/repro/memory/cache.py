@@ -9,7 +9,7 @@ exactly what LRU state captures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.config import CacheConfig
 

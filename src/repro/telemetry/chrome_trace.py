@@ -58,9 +58,12 @@ class ChromeTraceSink(TelemetrySink):
     happens once, after the run, in :meth:`trace` / :meth:`write`.
     """
 
-    def __init__(self, *, num_smx: Optional[int] = None) -> None:
+    def __init__(self, *, num_smx: Optional[int] = None, label: Optional[str] = None) -> None:
         self.events: list[TelemetryEvent] = []
         self.num_smx = num_smx
+        #: free-form run label (canonical scheduler name in the harness);
+        #: shown in the viewer's process name so traces are self-describing
+        self.label = label
 
     def emit(self, event: TelemetryEvent) -> None:
         self.events.append(event)
@@ -82,12 +85,15 @@ class ChromeTraceSink(TelemetrySink):
         """Render the buffered events as a trace-event JSON object."""
         num_smx = self._smx_count()
         scheduler_tid = num_smx  # one track after the per-SMX ones
+        process_name = "LaPerm simulated GPU"
+        if self.label:
+            process_name = f"{process_name} [{self.label}]"
         out: list[dict] = [
             {
                 "ph": "M",
                 "name": "process_name",
                 "pid": TRACE_PID,
-                "args": {"name": "LaPerm simulated GPU"},
+                "args": {"name": process_name},
             }
         ]
         for smx in range(num_smx):

@@ -182,8 +182,16 @@ class MetricsSink(TelemetrySink):
     runs.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        label: Optional[str] = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: free-form run label (canonical scheduler name in the harness);
+        #: surfaces in :meth:`summary` so reports are self-describing
+        self.label = label
 
     def emit(self, event: TelemetryEvent) -> None:
         reg = self.registry
@@ -241,4 +249,6 @@ class MetricsSink(TelemetrySink):
         if stats is not None:
             out["busy_cycles_gini"] = gini(stats.per_smx_busy_cycles)
             out["queue_entry_high_water"] = stats.scheduler_queue_high_water
+        if self.label is not None:
+            out["scheduler"] = self.label
         return out

@@ -48,7 +48,15 @@ class Array:
         return self.base + index * self.elem_bytes
 
     def addrs(self, indices: Iterable[int]) -> list[int]:
-        return [self.addr(int(i)) for i in indices]
+        """Byte addresses of many elements (one vectorized bounds check)."""
+        idx = np.asarray(indices if isinstance(indices, np.ndarray) else list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return []
+        bad = (idx < 0) | (idx >= self.length)
+        if bad.any():
+            index = int(idx[bad][0])
+            raise IndexError(f"{self.name}[{index}] out of range (length {self.length})")
+        return (self.base + idx * self.elem_bytes).tolist()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Array({self.name!r}, base={self.base:#x}, elem={self.elem_bytes}, n={self.length})"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.gpu.config import CacheConfig, GPUConfig
-from repro.workloads import APPLICATIONS, make_workload
+from repro.workloads import make_workload
 
 
 @pytest.fixture

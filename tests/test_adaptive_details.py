@@ -1,7 +1,6 @@
 """Adaptive-Bind internals: backup recording, re-scan ablation, stage
-ordering (Fig 6)."""
-
-import pytest
+ordering (Fig 6) — exercised through the component seams of the composed
+scheduler (``placement`` queues, ``steal`` victim scan)."""
 
 from repro.core.adaptive_bind import AdaptiveBindScheduler
 from repro.core.queues import Entry
@@ -33,7 +32,7 @@ def attach_scheduler(scheduler, num_smx=3):
     engine = Engine(machine(num_smx), scheduler, make_model("dtbl"), [spec])
     # the host kernel lands in the global queue on admission; drop it so
     # the stage tests start from empty queues
-    scheduler._global.clear()
+    scheduler.placement.global_queue.clear()
     return engine
 
 
@@ -47,28 +46,38 @@ def make_entry(level=1, n=2):
 
 
 class TestStageOrdering:
+    """Dispatch starts its rotation at SMX 0, so the first dispatch call
+    resolves the three stages exactly once for SMX 0 — the popped entry
+    (cursor advanced) identifies the winning stage."""
+
     def test_own_queue_beats_global(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         own = make_entry()
-        scheduler._smx_queues[0].push(own)
-        scheduler._global.append(make_entry(level=0))
-        assert scheduler._candidate_for(0, 0) is own
+        scheduler.placement.queues[0].push(own)
+        host = make_entry(level=0)
+        scheduler.placement.global_queue.append(host)
+        assert scheduler.dispatch(0) is not None
+        assert (own.cursor, host.cursor) == (1, 0)
 
     def test_global_beats_backup(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         host = make_entry(level=0)
-        scheduler._global.append(host)
-        scheduler._smx_queues[1].push(make_entry())
-        assert scheduler._candidate_for(0, 0) is host
+        scheduler.placement.global_queue.append(host)
+        victim = make_entry()
+        scheduler.placement.queues[1].push(victim)
+        assert scheduler.dispatch(0) is not None
+        assert (host.cursor, victim.cursor) == (1, 0)
+        assert scheduler.steals == 0
 
     def test_backup_used_when_all_else_empty(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         victim_entry = make_entry()
-        scheduler._smx_queues[2].push(victim_entry)
-        assert scheduler._candidate_for(0, 0) is victim_entry
+        scheduler.placement.queues[2].push(victim_entry)
+        assert scheduler.dispatch(0) is not None
+        assert victim_entry.cursor == 1
         assert scheduler.steals == 1
 
 
@@ -77,39 +86,40 @@ class TestBackupRecording:
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         first = make_entry(n=1)
-        scheduler._smx_queues[1].push(first)
-        assert scheduler._backup_candidate(0) == (first, 1)
-        assert scheduler._backup[0] == 1
+        scheduler.placement.queues[1].push(first)
+        assert scheduler.steal._victim_entry(0) == (first, 1)
+        assert scheduler.steal._backup[0] == 1
         # a nearer victim (in scan order) appears, but the recorded backup
         # still has work after a new entry arrives on it
         second = make_entry(n=1)
-        scheduler._smx_queues[1].push(second)
-        scheduler._smx_queues[2].push(make_entry(n=1))
-        assert scheduler._backup_candidate(0) == (first, 1)
+        scheduler.placement.queues[1].push(second)
+        scheduler.placement.queues[2].push(make_entry(n=1))
+        assert scheduler.steal._victim_entry(0) == (first, 1)
 
     def test_backup_cleared_when_drained(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
         entry = make_entry(n=1)
-        scheduler._smx_queues[1].push(entry)
-        scheduler._backup_candidate(0)
+        scheduler.placement.queues[1].push(entry)
+        scheduler.steal._victim_entry(0)
         entry.pop()  # drain the victim
         other = make_entry(n=1)
-        scheduler._smx_queues[2].push(other)
-        assert scheduler._backup_candidate(0) == (other, 2)
-        assert scheduler._backup[0] == 2
+        scheduler.placement.queues[2].push(other)
+        assert scheduler.steal._victim_entry(0) == (other, 2)
+        assert scheduler.steal._backup[0] == 2
 
     def test_rescan_mode_ignores_recording(self):
         scheduler = AdaptiveBindScheduler(fixed_backup=False)
         attach_scheduler(scheduler)
-        scheduler._smx_queues[1].push(make_entry(n=2))
-        scheduler._backup_candidate(0)
+        assert scheduler.steal.name == "rescan"
+        scheduler.placement.queues[1].push(make_entry(n=2))
+        scheduler.steal._victim_entry(0)
         # re-scan starts from scratch each time; recording is not consulted
         near = make_entry(n=1)
-        scheduler._smx_queues[1].push(near)
-        assert scheduler._backup_candidate(0) is not None
+        scheduler.placement.queues[1].push(near)
+        assert scheduler.steal._victim_entry(0) is not None
 
     def test_no_backup_available(self):
         scheduler = AdaptiveBindScheduler()
         attach_scheduler(scheduler)
-        assert scheduler._backup_candidate(0) is None
+        assert scheduler.steal._victim_entry(0) is None

@@ -6,8 +6,8 @@ from repro.core import make_scheduler
 from repro.dynpar import make_model
 from repro.gpu.config import CacheConfig, GPUConfig
 from repro.gpu.engine import DeadlockError, Engine
-from repro.gpu.kernel import KernelSpec, ResourceReq, TBState
-from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load, store
+from repro.gpu.kernel import KernelSpec, ResourceReq
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load
 
 
 def config(**overrides):

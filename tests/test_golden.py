@@ -78,5 +78,5 @@ def test_golden_stats(app, inp, sched, model, golden):
     }
     assert not mismatches, (
         f"{key}: behaviour changed: {mismatches} — if intentional, "
-        f"regenerate tests/golden_stats.json"
+        "regenerate tests/golden_stats.json"
     )

@@ -1,6 +1,5 @@
 """Graph-workload skeleton: expansion discipline, nesting, trace shape."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.trace import Op, walk_bodies

@@ -1,6 +1,5 @@
 """Reuse-distance and inter-TB reuse analyses."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,7 @@ from repro.analysis.locality import (
     reuse_distance_histogram,
     reuse_distances,
 )
-from repro.gpu.trace import TBBody, compute, load
+from repro.gpu.trace import TBBody, load
 
 
 def body_touching(*line_ids):

@@ -3,8 +3,6 @@ timeline rendering options, and misc API edges."""
 
 import json
 
-import pytest
-
 from repro.analysis.timeline import OccupancyTimeline
 from repro.cli import main
 from repro.core import make_scheduler

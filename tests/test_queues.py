@@ -113,6 +113,85 @@ class TestMultiLevelQueue:
             MultiLevelQueue(max_level=-1)
 
 
+class TestQueueEdgeCases:
+    def test_same_priority_fifo_stable_across_drain(self):
+        """FIFO within a level holds while entries drain mid-stream: an
+        entry stays at the head until exhausted, and later arrivals at
+        the same level never overtake earlier ones."""
+        q = MultiLevelQueue(max_level=2)
+        a = Entry(make_tbs(2), level=1)
+        b = Entry(make_tbs(1), level=1)
+        q.push(a)
+        q.push(b)
+        assert q.head() is a
+        a.pop()
+        assert q.head() is a  # partially drained: still at the head
+        c = Entry(make_tbs(1), level=1)
+        q.push(c)
+        a.pop()
+        assert q.head() is b  # a exhausted; b (older) beats c (newer)
+        b.pop()
+        assert q.head() is c
+
+    def test_high_water_tracks_entries_not_onchip(self):
+        """entry_high_water is the max concurrent entry count, monotone
+        across pop/push interleavings (it never decays on drain)."""
+        q = MultiLevelQueue(max_level=1, capacity=1)
+        entries = [Entry(make_tbs(1), level=1) for _ in range(3)]
+        for e in entries:
+            q.push(e)
+        assert q.entry_high_water == 3
+        for e in entries:
+            e.pop()
+        assert q.head() is None
+        assert q.total_entries == 0
+        assert q.entry_high_water == 3  # high-water survives the drain
+        q.push(Entry(make_tbs(1), level=0))
+        q.push(Entry(make_tbs(1), level=0))
+        assert q.entry_high_water == 3  # 2 concurrent < old peak
+
+    def test_high_water_advances_past_old_peak(self):
+        q = MultiLevelQueue(max_level=1)
+        first = Entry(make_tbs(1), level=1)
+        q.push(first)
+        first.pop()
+        assert q.head() is None
+        for _ in range(4):
+            q.push(Entry(make_tbs(1), level=1))
+        assert q.entry_high_water == 4
+
+    def test_on_overflow_callback_fires_per_overflowing_push(self):
+        seen = []
+        q = MultiLevelQueue(max_level=1, capacity=1)
+        q.on_overflow = lambda entry, now: seen.append((entry, now))
+        fits = Entry(make_tbs(1), level=1)
+        spills = Entry(make_tbs(1), level=1)
+        q.push(fits, now=10)
+        assert seen == []  # within capacity: no event
+        q.push(spills, now=20)
+        assert seen == [(spills, 20)]
+        assert q.overflow_events == 1
+        q.push(Entry(make_tbs(1), level=0), now=30)
+        assert len(seen) == 2 and seen[1][1] == 30
+
+    def test_overflow_slot_not_freed_by_retiring_overflow_entry(self):
+        """Draining an overflowed entry must not free an on-chip slot it
+        never held."""
+        q = MultiLevelQueue(max_level=1, capacity=1)
+        onchip = Entry(make_tbs(1), level=1)
+        spilled = Entry(make_tbs(1), level=1)
+        q.push(onchip)
+        q.push(spilled)
+        assert spilled.overflow
+        spilled.pop()
+        onchip.pop()
+        assert q.head() is None  # prunes both
+        assert q.onchip_entries == 0  # exactly one slot was freed
+        fresh = Entry(make_tbs(1), level=1)
+        q.push(fresh)
+        assert not fresh.overflow
+
+
 @settings(max_examples=100, deadline=None)
 @given(
     ops=st.lists(

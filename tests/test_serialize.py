@@ -7,7 +7,7 @@ from repro.dynpar import make_model
 from repro.gpu.engine import Engine
 from repro.gpu.kernel import KernelSpec, ResourceReq
 from repro.gpu.serialize import load_spec, save_spec, spec_from_obj, spec_to_obj
-from repro.gpu.trace import LaunchSpec, Op, TBBody, compute, launch, load, store, walk_bodies
+from repro.gpu.trace import LaunchSpec, TBBody, compute, launch, load, store, walk_bodies
 from repro.harness.registry import experiment_config
 from tests.conftest import tiny_workload
 

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.core import make_scheduler
+from repro.core.components import ThrottleAdmission
+from repro.core.composed import ComposedScheduler
 from repro.core.rr import RoundRobinScheduler
+from repro.core.smx_bind import SMXBindScheduler
 from repro.core.throttle import ThrottledScheduler
+from repro.core.adaptive_bind import AdaptiveBindScheduler
 from repro.dynpar import make_model
 from repro.gpu.config import CacheConfig, GPUConfig
 from repro.gpu.engine import Engine
@@ -43,9 +47,11 @@ def thrashing_kernel(n_tbs=24):
 class TestConstruction:
     def test_factory_suffix(self):
         s = make_scheduler("rr+throttle")
-        assert isinstance(s, ThrottledScheduler)
-        assert isinstance(s.inner, RoundRobinScheduler)
+        assert isinstance(s, ComposedScheduler)
+        assert s.spec.admit == "throttle"
+        assert isinstance(s.admission, ThrottleAdmission)
         assert s.name == "rr+throttle"
+        assert s.idle_dispatch_pure is False
 
     def test_unknown_modifier(self):
         with pytest.raises(ValueError):
@@ -64,6 +70,50 @@ class TestConstruction:
             ThrottledScheduler(RoundRobinScheduler(), interval=0)
         with pytest.raises(ValueError):
             ThrottledScheduler(RoundRobinScheduler(), low_watermark=0.9, high_watermark=0.1)
+
+
+class TestWrapperForwarding:
+    """The generic wrapper must report the wrapped policy's accounting,
+    not the base class defaults (regression: the wrapper used to shadow
+    these with its own zero-valued attributes)."""
+
+    def test_prioritized_kmu_tracks_inner(self):
+        assert ThrottledScheduler(SMXBindScheduler()).prioritized_kmu is True
+        assert ThrottledScheduler(RoundRobinScheduler()).prioritized_kmu is False
+
+    def test_queue_accounting_forwards(self):
+        w = tiny_workload("bfs", "citation")
+        scheduler = ThrottledScheduler(SMXBindScheduler())
+        engine = Engine(
+            machine(num_smx=4, max_threads_per_smx=512),
+            scheduler,
+            make_model("dtbl"),
+            [w.kernel()],
+        )
+        stats = engine.run()
+        inner = scheduler.inner
+        assert scheduler.queue_high_water == inner.queue_high_water > 0
+        assert scheduler.overflow_events == inner.overflow_events
+        assert stats.scheduler_queue_high_water == inner.queue_high_water
+        # assignment must be accepted and ignored: inner stays authoritative
+        scheduler.overflow_events = 123456
+        assert scheduler.overflow_events == inner.overflow_events
+
+    def test_steals_forward(self):
+        w = tiny_workload("bfs", "citation")
+        scheduler = ThrottledScheduler(AdaptiveBindScheduler())
+        engine = Engine(
+            machine(num_smx=4, max_threads_per_smx=512),
+            scheduler,
+            make_model("dtbl"),
+            [w.kernel()],
+        )
+        stats = engine.run()
+        assert scheduler.steals == scheduler.inner.steals
+        assert stats.work_steals == scheduler.inner.steals
+
+    def test_steals_default_zero_for_non_stealing_inner(self):
+        assert ThrottledScheduler(RoundRobinScheduler()).steals == 0
 
 
 class TestBehaviour:
