@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install lint test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo validate clean
+.PHONY: install lint test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo tune-fast validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -42,6 +42,12 @@ experiments:
 grid-fast:
 	PYTHONPATH=src $(PYTHON) -m repro.cli grid --scale tiny --jobs 4 --no-cache \
 		--benchmarks amr join-gaussian --models dtbl
+
+# smoke test of the policy autotuner: a tiny-budget search on one
+# workload, uncached so it always exercises the full pipeline (docs/search.md)
+tune-fast:
+	PYTHONPATH=src $(PYTHON) -m repro.cli tune amr --scale tiny --budget 12 \
+		--jobs 2 --no-cache
 
 # export a Chrome/Perfetto trace of bfs-citation (tiny) and re-check it
 # against the trace-event schema (docs/telemetry.md)

@@ -7,6 +7,9 @@
     repro run bfs-citation -s adaptive-bind # one simulation
     repro compare bfs-citation              # all schedulers on one benchmark
     repro grid --jobs 4                     # Figures 7/8/9 (full evaluation)
+    repro tune bfs-citation amr --jobs 4    # search the scheduler-policy space
+    repro cache stats                       # result-cache size and versions
+    repro cache prune --max-bytes 64M       # evict oldest cached results
     repro footprint                         # Figure 2 analysis
     repro trace bfs-citation -o trace.json  # Chrome/Perfetto trace export
     repro snapshot amr -o amr.json.gz       # save a workload spec for reuse
@@ -74,12 +77,37 @@ def _add_execution(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _executor_from_args(args: argparse.Namespace) -> Executor:
+def _cache_dir_from_args(args: argparse.Namespace) -> str:
+    return args.cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def _executor_from_args(
+    args: argparse.Namespace, *, collect_telemetry: bool = False
+) -> Executor:
     cache = None
     if not args.no_cache:
-        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-        cache = ResultCache(cache_dir)
-    return make_executor(jobs=args.jobs, cache=cache)
+        cache = ResultCache(_cache_dir_from_args(args))
+    return make_executor(jobs=args.jobs, cache=cache, collect_telemetry=collect_telemetry)
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix ('64M' -> 64 MiB)."""
+    raw = text.strip()
+    factor = 1
+    suffixes = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    if raw and raw[-1].lower() in suffixes:
+        factor = suffixes[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"bad size {text!r}; expected an integer byte count, optionally "
+            "suffixed with K, M or G"
+        ) from None
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return value * factor
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -304,6 +332,49 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Search the scheduler-policy space with successive halving."""
+    from repro.search import ProgressPrinter, render_leaderboard, tune, write_tune
+
+    result = tune(
+        args.benchmarks,
+        objective=args.objective,
+        extra_objectives=tuple(args.pareto) if args.pareto is not None else None,
+        model=args.model,
+        scale=args.scale,
+        seed=args.seed,
+        budget=args.budget,
+        eta=args.eta,
+        include_throttle=not args.no_throttle,
+        candidates=args.candidates,
+        executor=_executor_from_args(args, collect_telemetry=True),
+        telemetry=ProgressPrinter(),
+    )
+    print(render_leaderboard(result, top=args.top))
+    if args.output:
+        write_tune(result, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the on-disk result cache."""
+    cache = ResultCache(_cache_dir_from_args(args))
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache root       {stats['root']}")
+        print(f"records          {stats['records']}")
+        print(f"total bytes      {stats['total_bytes']}")
+        versions = stats["engine_versions"] or {"-": 0}
+        rendered = ", ".join(f"v{k}: {v}" for k, v in versions.items())
+        print(f"engine versions  {rendered}")
+        return 0
+    max_bytes = _parse_bytes(args.max_bytes)
+    removed, freed = cache.prune(max_bytes)
+    print(f"pruned {removed} record(s), freed {freed} bytes (cap {max_bytes})")
+    return 0
+
+
 def cmd_footprint(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_footprint
     from repro.harness.registry import iter_benchmarks
@@ -360,6 +431,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(grid_p)
     _add_execution(grid_p)
 
+    tune_p = sub.add_parser(
+        "tune",
+        help="search the scheduler-policy space (budgeted successive halving)",
+    )
+    tune_p.add_argument(
+        "benchmarks", nargs="*", default=["bfs-citation", "amr"], metavar="BENCHMARK",
+        help="workloads to tune on (default: bfs-citation amr)",
+    )
+    tune_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    tune_p.add_argument(
+        "--objective", default="ipc", metavar="NAME",
+        help="primary ranking objective (default: ipc; see docs/search.md)",
+    )
+    tune_p.add_argument(
+        "--pareto", nargs="*", metavar="NAME",
+        help="extra objectives for the Pareto frontier "
+        "(default: l1-hit-rate l2-hit-rate gini child-wait)",
+    )
+    tune_p.add_argument(
+        "--budget", type=int, default=96, metavar="N",
+        help="max planned candidate x workload evaluations (default: 96)",
+    )
+    tune_p.add_argument(
+        "--eta", type=int, default=3, metavar="N",
+        help="successive-halving reduction factor (default: 3)",
+    )
+    tune_p.add_argument(
+        "--no-throttle", action="store_true",
+        help="exclude admit=throttle composites from the search space",
+    )
+    tune_p.add_argument(
+        "--candidates", nargs="*", metavar="SPEC",
+        help="explicit candidate specs/names instead of the full space "
+        "(spellings are canonicalized and deduped)",
+    )
+    tune_p.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="leaderboard rows to print (default: all final-rung rows)",
+    )
+    tune_p.add_argument("-o", "--output", metavar="FILE", help="also write JSON results")
+    _add_scale(tune_p)
+    _add_execution(tune_p)
+
+    cache_p = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser("stats", help="record count, bytes, engine versions")
+    cache_prune_p = cache_sub.add_parser(
+        "prune", help="delete oldest records until the cache fits a byte cap"
+    )
+    cache_prune_p.add_argument(
+        "--max-bytes", required=True, metavar="SIZE",
+        help="target cache size: bytes, or with a K/M/G suffix (e.g. 64M)",
+    )
+    for sub_p in (cache_stats_p, cache_prune_p):
+        sub_p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
+
     fp_p = sub.add_parser("footprint", help="run the Figure 2 footprint analysis")
     _add_scale(fp_p)
 
@@ -396,6 +526,8 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "grid": cmd_grid,
+    "tune": cmd_tune,
+    "cache": cmd_cache,
     "footprint": cmd_footprint,
     "validate": cmd_validate,
     "trace": cmd_trace,

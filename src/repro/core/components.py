@@ -195,6 +195,12 @@ def describe_components() -> dict[str, list[str]]:
     return {axis: sorted(set(values.values())) for axis, values in _AXIS_VALUES.items()}
 
 
+def axis_spellings() -> dict[str, dict[str, str]]:
+    """Axis -> {accepted spelling: canonical value}: the grammar's alias
+    table, for tools that enumerate or fuzz spellings (``repro.search``)."""
+    return {axis: dict(values) for axis, values in _AXIS_VALUES.items()}
+
+
 # --- priority policies --------------------------------------------------------
 
 

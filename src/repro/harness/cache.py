@@ -81,5 +81,80 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    # -- maintenance (``repro cache stats`` / ``repro cache prune``) -----------
+
+    def record_paths(self) -> list[Path]:
+        """Every record file on disk, in deterministic (sorted) order."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def disk_stats(self) -> dict:
+        """Size/content digest of the cache directory (JSON-safe).
+
+        Walks every record once; ``engine_versions`` counts records per
+        stored ``engine_version`` (``"unknown"`` for records without
+        one), which is how stale results from older engines show up.
+        """
+        records = 0
+        total_bytes = 0
+        versions: dict[str, int] = {}
+        for path in self.record_paths():
+            try:
+                size = path.stat().st_size
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # racing writer or corrupt record: skip
+            records += 1
+            total_bytes += size
+            version = record.get("engine_version") if isinstance(record, dict) else None
+            label = "unknown" if version is None else str(version)
+            versions[label] = versions.get(label, 0) + 1
+        return {
+            "root": str(self.root),
+            "records": records,
+            "total_bytes": total_bytes,
+            "engine_versions": dict(sorted(versions.items())),
+        }
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Delete oldest records until the cache fits in ``max_bytes``.
+
+        Eviction order is modification time (then file name, so equal
+        timestamps break deterministically); returns ``(records removed,
+        bytes freed)``. Empty shard directories are cleaned up so a fully
+        pruned cache leaves only its root behind.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        for path in self.record_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        removed = 0
+        freed = 0
+        for _, _, path, size in sorted(entries):
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent prune got there first
+            removed += 1
+            freed += size
+        if removed and self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return removed, freed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

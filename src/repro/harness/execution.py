@@ -152,6 +152,46 @@ class RunSpec:
         """Rebuild the machine description this spec encodes."""
         return config_from_obj(json.loads(self.config_json))
 
+    def with_rung(
+        self,
+        *,
+        scale: Optional[str] = None,
+        max_cycles: Optional[int] = ...,
+        config: Optional[GPUConfig] = None,
+        config_overrides: Optional[dict] = None,
+    ) -> "RunSpec":
+        """Derive the scaled variant of this run used by a search rung.
+
+        Successive-halving searches (``repro.search``) evaluate the same
+        (benchmark, scheduler, model, seed) point at several fidelities:
+        a cheaper *rung* shrinks the workload ``scale``, caps the cycle
+        budget and/or swaps in a scaled-down machine, while the final
+        rung is the unmodified spec — so its results share cache
+        addresses with ordinary ``repro run``/``grid`` invocations.
+
+        ``max_cycles`` uses ``...`` as its "keep" sentinel because None
+        already means "no cycle budget". ``config_overrides`` applies
+        field overrides on top of this spec's machine (mutually exclusive
+        with ``config``, which replaces it wholesale).
+        """
+        if config is not None and config_overrides:
+            raise ValueError("pass either config or config_overrides, not both")
+        if config_overrides:
+            config = self.gpu_config().with_overrides(**config_overrides)
+        return RunSpec(
+            benchmark=self.benchmark,
+            scheduler=self.scheduler,
+            model=self.model,
+            scale=self.scale if scale is None else scale,
+            seed=self.seed,
+            config_json=(
+                self.config_json
+                if config is None
+                else canonical_json(config_to_obj(config))
+            ),
+            max_cycles=self.max_cycles if max_cycles is ... else max_cycles,
+        )
+
     @property
     def config_fingerprint(self) -> str:
         """Short content hash of the machine configuration."""

@@ -98,13 +98,30 @@ class GridResult:
             raise KeyError(f"unknown model {model!r}; this grid has {sorted(self.models)}")
 
     def get(self, benchmark: str, scheduler: str, model: str) -> SimStats:
+        stats = self.stats.get((benchmark, scheduler, model))
+        if stats is not None:
+            return stats
+        # grids are keyed by canonical scheduler label; accept any grammar
+        # spelling ('pri=level,bind=smx,steal=backup' == 'adaptive-bind')
         try:
-            return self.stats[(benchmark, scheduler, model)]
-        except KeyError:
-            self._check_pair(scheduler, model)
+            canonical = canonical_scheduler_name(scheduler)
+        except ValueError:
+            canonical = scheduler
+        if canonical != scheduler:
+            stats = self.stats.get((benchmark, canonical, model))
+            if stats is not None:
+                return stats
+            scheduler = canonical
+        self._check_pair(scheduler, model)
+        if benchmark not in self.benchmarks:
             raise KeyError(
                 f"unknown benchmark {benchmark!r}; this grid has {sorted(self.benchmarks)}"
-            ) from None
+            )
+        raise KeyError(
+            f"no result for ({benchmark!r}, {scheduler!r}, {model!r}); this grid "
+            f"has benchmarks {sorted(self.benchmarks)}, schedulers "
+            f"{sorted(self.schedulers)}, models {sorted(self.models)}"
+        )
 
     def metric(self, benchmark: str, scheduler: str, model: str, name: str) -> float:
         return getattr(self.get(benchmark, scheduler, model), name)

@@ -1,0 +1,93 @@
+"""Search reporting: leaderboard rendering, JSON export, progress sink.
+
+``repro tune`` composes these three pieces: a :class:`ProgressPrinter`
+streams :class:`~repro.telemetry.events.SearchProgress` events to stderr
+while the search runs, :func:`render_leaderboard` prints the ranked
+result, and :func:`write_tune` persists the full
+:class:`~repro.search.tuner.TuneResult` as JSON for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict
+from typing import IO, Optional
+
+from repro.search.tuner import TuneResult
+from repro.telemetry.events import SearchProgress, TelemetryEvent, TelemetrySink
+
+
+class ProgressPrinter(TelemetrySink):
+    """Prints one line per :class:`SearchProgress` event (other events
+    pass through silently, so the sink can ride in a ``TeeSink``)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if type(event) is not SearchProgress:
+            return
+        best = f"  best={event.best} ({event.best_score:.3f})" if event.best else ""
+        print(
+            f"[tune] rung {event.rung} ({event.scale}) {event.phase}: "
+            f"{event.candidates} candidate(s), {event.time} evaluation(s) planned"
+            f"{best}",
+            file=self.stream,
+        )
+
+
+def tune_to_obj(result: TuneResult) -> dict:
+    """JSON-safe dict view of a search result (stable key order)."""
+    out = asdict(result)
+    out["best"] = result.best.name if result.leaderboard else None
+    return out
+
+
+def write_tune(result: TuneResult, path) -> None:
+    """Write a search result as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(tune_to_obj(result), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def render_leaderboard(result: TuneResult, top: Optional[int] = None) -> str:
+    """Fixed-width leaderboard table, best candidate first.
+
+    ``top`` truncates to the first N rows (None = all final-rung rows).
+    The score column is the primary objective averaged over the
+    benchmarks; ``vs {baseline}`` is the mean per-benchmark improvement
+    factor over the baseline scheduler.
+    """
+    rows = result.leaderboard if top is None else result.leaderboard[:top]
+    if not rows:
+        return "(empty leaderboard)"
+    name_width = max(len("scheduler"), max(len(r.name) for r in rows))
+    extra = [name for name in result.objectives if name != result.objective]
+    header = (
+        f"{'#':>2}  {'scheduler':<{name_width}}  "
+        f"{result.objective:>10}  {'vs ' + result.baseline:>8}"
+    )
+    for name in extra:
+        header += f"  {name:>12}"
+    lines = [header, "-" * len(header)]
+    for rank, row in enumerate(rows, start=1):
+        vs = f"{row.vs_baseline:7.2f}x" if row.vs_baseline is not None else f"{'—':>8}"
+        line = f"{rank:>2}  {row.name:<{name_width}}  {row.score:>10.3f}  {vs}"
+        for name in extra:
+            line += f"  {row.metrics.get(name, 0.0):>12.3f}"
+        lines.append(line)
+    frontier = ", ".join(result.pareto) if result.pareto else "—"
+    lines.append("")
+    lines.append(f"pareto frontier ({', '.join(result.objectives)}): {frontier}")
+    lines.append(
+        f"searched {len(result.candidates)} candidate(s) over "
+        f"{len(result.rungs)} rung(s), {result.evaluations} evaluation(s) "
+        f"planned (budget {result.budget})"
+    )
+    if result.dropped:
+        lines.append(
+            f"budget dropped {len(result.dropped)} candidate(s) before "
+            f"evaluation: {', '.join(result.dropped)}"
+        )
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ from repro.telemetry.events import (
     NullSink,
     QueueOverflow,
     RecordingSink,
+    SearchProgress,
     TBCompleted,
     TBDispatched,
     TeeSink,
@@ -52,6 +53,7 @@ __all__ = [
     "NullSink",
     "QueueOverflow",
     "RecordingSink",
+    "SearchProgress",
     "TBCompleted",
     "TBDispatched",
     "TeeSink",

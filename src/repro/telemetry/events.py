@@ -131,6 +131,31 @@ class WarpStall:
     cycles: int
 
 
+@dataclass(frozen=True, slots=True)
+class SearchProgress:
+    """A scheduler-policy search advanced one step (``repro.search``).
+
+    Unlike the simulator events, the producer is the tuner, not the
+    engine: ``time`` is the search's own clock — the number of
+    (candidate, workload) evaluations planned so far — so long searches
+    stream monotonic progress through any ordinary sink.
+    """
+
+    time: int
+    #: "rung-start", "rung-end" or "search-end"
+    phase: str
+    rung: int
+    #: workload scale this rung evaluates at
+    scale: str
+    #: candidates evaluated at this rung
+    candidates: int
+    #: candidates promoted past this rung (== candidates on the last)
+    survivors: int
+    #: canonical name of the best candidate ranked so far ("" before any)
+    best: str
+    best_score: float
+
+
 #: every event type, in taxonomy order (docs and schema tests iterate this)
 EVENT_TYPES: tuple[type, ...] = (
     TBDispatched,
@@ -141,6 +166,7 @@ EVENT_TYPES: tuple[type, ...] = (
     QueueOverflow,
     CacheSample,
     WarpStall,
+    SearchProgress,
 )
 
 TelemetryEvent = (
@@ -152,6 +178,7 @@ TelemetryEvent = (
     | QueueOverflow
     | CacheSample
     | WarpStall
+    | SearchProgress
 )
 
 E = TypeVar("E")

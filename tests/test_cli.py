@@ -137,3 +137,75 @@ class TestErrorExits:
     def test_snapshot_without_benchmark(self, capsys):
         assert main(["snapshot"]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    @staticmethod
+    def _warm(tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["run", "amr", "--scale", "tiny", "--cache-dir", cache_dir]
+        ) == 0
+        return cache_dir
+
+    def test_stats(self, capsys, tmp_path):
+        cache_dir = self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert cache_dir in out
+        assert "records" in out and "total bytes" in out
+        assert "v2: 1" in out
+
+    def test_stats_empty_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "none")]) == 0
+        assert "records          0" in capsys.readouterr().out
+
+    def test_prune(self, capsys, tmp_path):
+        cache_dir = self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", "0", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 record(s)" in out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "records          0" in capsys.readouterr().out
+
+    def test_prune_requires_max_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune"])
+
+    def test_prune_bad_size_one_line_error(self, capsys, tmp_path):
+        code = main(
+            ["cache", "prune", "--max-bytes", "lots",
+             "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 2
+        assert "bad size 'lots'" in capsys.readouterr().err
+
+    def test_parse_bytes_suffixes(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("4096") == 4096
+        assert _parse_bytes("64K") == 64 * 1024
+        assert _parse_bytes("64m") == 64 * 1024**2
+        assert _parse_bytes(" 2G ") == 2 * 1024**3
+        with pytest.raises(ValueError, match="bad size"):
+            _parse_bytes("1T")
+        with pytest.raises(ValueError, match=">= 0"):
+            _parse_bytes("-1")
+
+
+class TestTuneParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.benchmarks == ["bfs-citation", "amr"]
+        assert args.objective == "ipc"
+        assert args.budget == 96
+        assert args.eta == 3
+
+    def test_pareto_and_candidates(self):
+        args = build_parser().parse_args(
+            ["tune", "amr", "--pareto", "gini", "--candidates", "rr", "smx-bind"]
+        )
+        assert args.pareto == ["gini"]
+        assert args.candidates == ["rr", "smx-bind"]

@@ -9,6 +9,7 @@ changing the config fingerprint invalidates the cache.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -129,6 +130,64 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "never-created")
         assert len(cache) == 0
         assert cache.load("ee" + "2" * 62) is None
+
+    @staticmethod
+    def _fill(cache, n, version=2):
+        keys = [f"{i:02x}" + f"{i:062x}" for i in range(n)]
+        for key in keys:
+            cache.store(key, {"engine_version": version, "stats": {"i": key}})
+        return keys
+
+    def test_disk_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3)
+        cache.store("aa" + "3" * 62, {"stats": {}})  # no engine_version
+        stats = cache.disk_stats()
+        assert stats["records"] == 4
+        assert stats["total_bytes"] == sum(p.stat().st_size for p in cache.record_paths())
+        assert stats["engine_versions"] == {"2": 3, "unknown": 1}
+        assert stats["root"] == str(tmp_path)
+
+    def test_disk_stats_empty(self, tmp_path):
+        stats = ResultCache(tmp_path / "nothing").disk_stats()
+        assert stats["records"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["engine_versions"] == {}
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 4)
+        # age the records deterministically: keys[0] oldest
+        for age, key in enumerate(keys):
+            path = cache.path_for(key)
+            ts = 1_000_000_000 + age
+            os.utime(path, (ts, ts))
+        sizes = {key: cache.path_for(key).stat().st_size for key in keys}
+        keep_two = sizes[keys[2]] + sizes[keys[3]]
+        removed, freed = cache.prune(keep_two)
+        assert removed == 2
+        assert freed == sizes[keys[0]] + sizes[keys[1]]
+        assert cache.load(keys[0]) is None
+        assert cache.load(keys[3]) is not None
+        assert cache.disk_stats()["total_bytes"] <= keep_two
+
+    def test_prune_noop_when_under_cap(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        assert cache.prune(10**9) == (0, 0)
+        assert len(cache) == 2
+
+    def test_prune_to_zero_removes_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3)
+        removed, _ = cache.prune(0)
+        assert removed == 3
+        assert len(cache) == 0
+        assert not any(p.is_dir() for p in tmp_path.iterdir())
+
+    def test_prune_rejects_negative_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes must be >= 0"):
+            ResultCache(tmp_path).prune(-1)
 
 
 class TestExecutors:

@@ -106,6 +106,22 @@ class TestGrid:
         with pytest.raises(KeyError, match="unknown benchmark 'bfs-twitter'"):
             grid.get("bfs-twitter", "rr", "dtbl")
 
+    def test_get_accepts_grammar_spellings(self, grid):
+        """Grids are keyed by canonical label, but any spelling of the
+        same policy must resolve to the same cell."""
+        from repro.core.components import resolve_scheduler
+
+        spec = resolve_scheduler("adaptive-bind")[1].canonical
+        b = grid.benchmarks[0]
+        assert grid.get(b, spec, "dtbl") is grid.get(b, "adaptive-bind", "dtbl")
+
+    def test_missing_cell_names_available_keys(self, grid):
+        """A valid-but-absent cell must name what the grid does hold,
+        not claim the key is unknown."""
+        sparse = GridResult(schedulers=["rr"], models=["dtbl"], benchmarks=["amr"])
+        with pytest.raises(KeyError, match=r"no result for.*'amr'.*\['rr'\].*\['dtbl'\]"):
+            sparse.get("amr", "rr", "dtbl")
+
 
 class TestReports:
     @pytest.fixture(scope="class")
