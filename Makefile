@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install lint test test-fast bench bench-tiny bench-json figures experiments grid-fast trace-demo tune-fast validate clean
+.PHONY: install lint test test-fast bench bench-tiny bench-json perf-smoke figures experiments grid-fast trace-demo tune-fast validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -32,6 +32,14 @@ bench-tiny:
 # engine throughput per scheduler -> BENCH_simulator.json (docs/simulator.md)
 bench-json:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_simulator.py -o BENCH_simulator.json
+
+# CI perf gate: measure fresh throughput and fail if adaptive-bind drops
+# >25% below the committed BENCH_simulator.json baseline (docs/simulator.md)
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_simulator.py -o .bench_smoke.json \
+		--baseline BENCH_simulator.json
+	$(PYTHON) scripts/check_bench_regression.py .bench_smoke.json \
+		--baseline BENCH_simulator.json --max-regression 0.25
 
 figures: bench
 
@@ -63,5 +71,5 @@ validate:
 	$(PYTHON) -m repro.cli validate --scale $(SCALE)
 
 clean:
-	rm -rf .pytest_cache src/repro.egg-info trace-demo.json
+	rm -rf .pytest_cache src/repro.egg-info trace-demo.json .bench_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -86,6 +86,48 @@ def test_coalescer_throughput(benchmark):
 # the `make bench-json` perf-regression harness and the CI artifact.
 
 
+def _provenance() -> dict:
+    """Where and on what this report was measured (JSON-safe).
+
+    Throughput numbers are only comparable on like hardware, so the
+    report records the git revision and CPU model alongside the data;
+    the CI regression gate reads these to annotate failures.
+    """
+    import platform
+    import subprocess
+
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip()
+        if rev and subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip():
+            rev += "-dirty"
+    except (OSError, subprocess.SubprocessError):
+        rev = ""
+    cpu = ""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "git_rev": rev or "unknown",
+        "cpu_model": cpu or platform.processor() or platform.machine() or "unknown",
+        "platform": platform.platform(),
+    }
+
+
 def _measure_scheduler(scheduler: str, spec, rounds: int) -> dict:
     """Best-of-N wall time of one full Engine.run(); returns throughput."""
     import time
@@ -137,15 +179,25 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    import time
+
+    # phase 1: workload generation (datagen + trace building), measured
+    # separately so engine-loop work and datagen work can't be conflated
+    t0 = time.perf_counter()
     w = load_benchmark("bfs-citation", scale="tiny")
     spec = w.kernel()
+    datagen_ms = (time.perf_counter() - t0) * 1000
     report = {
         "generated_by": "benchmarks/bench_simulator.py",
         "workload": "bfs-citation scale=tiny seed=7 model=dtbl",
         "rounds": args.rounds,
         "python": platform.python_version(),
+        "host": _provenance(),
         "schedulers": {},
     }
+    # phase 2: engine throughput per scheduler (datagen excluded: each
+    # timed window covers exactly one Engine.run())
+    t0 = time.perf_counter()
     for sched in args.schedulers:
         report["schedulers"][sched] = _measure_scheduler(sched, spec, args.rounds)
         print(
@@ -153,6 +205,10 @@ def main(argv=None) -> int:
             f"  ({report['schedulers'][sched]['best_ms']} ms best of {args.rounds})",
             file=sys.stderr,
         )
+    report["phases"] = {
+        "datagen_ms": round(datagen_ms, 3),
+        "engine_ms": round((time.perf_counter() - t0) * 1000, 3),
+    }
 
     if args.baseline:
         with open(args.baseline) as fh:

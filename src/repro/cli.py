@@ -8,8 +8,8 @@
     repro compare bfs-citation              # all schedulers on one benchmark
     repro grid --jobs 4                     # Figures 7/8/9 (full evaluation)
     repro tune bfs-citation amr --jobs 4    # search the scheduler-policy space
-    repro cache stats                       # result-cache size and versions
-    repro cache prune --max-bytes 64M       # evict oldest cached results
+    repro cache stats                       # result/workload cache size and versions
+    repro cache prune --max-bytes 64M       # evict oldest cached results and traces
     repro footprint                         # Figure 2 analysis
     repro trace bfs-citation -o trace.json  # Chrome/Perfetto trace export
     repro snapshot amr -o amr.json.gz       # save a workload spec for reuse
@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core import SCHEDULER_ORDER, describe_components
@@ -37,6 +38,7 @@ from repro.dynpar import MODELS
 from repro.gpu.config import KEPLER_K20C
 from repro.harness.cache import ResultCache
 from repro.harness.execution import Executor, RunSpec, make_executor
+from repro.harness.workload_cache import WorkloadCache
 from repro.harness.registry import (
     benchmark_names,
     experiment_config,
@@ -358,8 +360,10 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or prune the on-disk result cache."""
-    cache = ResultCache(_cache_dir_from_args(args))
+    """Inspect or prune the on-disk result and workload caches."""
+    root = _cache_dir_from_args(args)
+    cache = ResultCache(root)
+    workloads = WorkloadCache(Path(root) / "workloads")
     if args.cache_command == "stats":
         stats = cache.disk_stats()
         print(f"cache root       {stats['root']}")
@@ -368,10 +372,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
         versions = stats["engine_versions"] or {"-": 0}
         rendered = ", ".join(f"v{k}: {v}" for k, v in versions.items())
         print(f"engine versions  {rendered}")
+        wstats = workloads.disk_stats()
+        print(f"workload traces  {wstats['records']} ({wstats['total_bytes']} bytes)")
         return 0
     max_bytes = _parse_bytes(args.max_bytes)
     removed, freed = cache.prune(max_bytes)
+    w_removed, w_freed = workloads.prune(max_bytes)
     print(f"pruned {removed} record(s), freed {freed} bytes (cap {max_bytes})")
+    print(f"pruned {w_removed} workload trace(s), freed {w_freed} bytes")
     return 0
 
 
@@ -474,11 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(tune_p)
     _add_execution(tune_p)
 
-    cache_p = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the on-disk result and workload caches"
+    )
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     cache_stats_p = cache_sub.add_parser("stats", help="record count, bytes, engine versions")
     cache_prune_p = cache_sub.add_parser(
-        "prune", help="delete oldest records until the cache fits a byte cap"
+        "prune", help="delete oldest records until each cache fits a byte cap"
     )
     cache_prune_p.add_argument(
         "--max-bytes", required=True, metavar="SIZE",

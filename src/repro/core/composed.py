@@ -87,6 +87,16 @@ class ComposedScheduler(TBScheduler):
             self.steal.setup(self, engine)
         if self.admission is not None:
             self.admission.setup(engine)
+        # dispatch-stage constants (immutable after attach), hoisted out of
+        # the per-cycle rotation
+        self._smxs = engine.smxs
+        self._overflow_penalty = engine.config.queue_overflow_penalty
+        if self.admission is None:
+            # no admission tick to run: let the engine call the stage
+            # routine directly (the instance attribute shadows the method)
+            self.dispatch = (
+                self._dispatch_uniform if self.placement.uniform else self._dispatch_bound
+            )
 
     # ----- event hooks -----------------------------------------------------
     def on_kernel_arrival(self, kernel: Kernel, now: int) -> None:
@@ -113,12 +123,21 @@ class ComposedScheduler(TBScheduler):
         if entry is None:
             return None
         tb = entry.peek()
-        smxs = self.engine.smxs
+        res = tb.resources
+        threads, regs, smem = res.threads, res.registers, res.smem_bytes
+        smxs = self._smxs
         num_smx = len(smxs)
         for i in range(1, num_smx + 1):
             smx_id = (self._smx_ptr + i) % num_smx
             smx = smxs[smx_id]
-            if smx.can_fit(tb):
+            # SMX.can_fit, inlined (hot rotation; kept in sync with smx.py)
+            if (
+                smx.free_tb_slots >= 1
+                and len(smx.resident_tbs) < smx.dynamic_cap
+                and smx.free_threads >= threads
+                and smx.free_registers >= regs
+                and smx.free_smem >= smem
+            ):
                 entry.pop()
                 self._smx_ptr = smx_id
                 return self._place(tb, smx, now)
@@ -142,10 +161,12 @@ class ComposedScheduler(TBScheduler):
             steal.begin_dispatch()
         if not bound_any and not placement.global_queue:
             return None  # cheap all-empty fast path
-        global_head = placement.global_head
+        # stage 2 hoisted: the shared parent queue cannot change during the
+        # rotation (only the final placement pops, which ends the call), so
+        # its head — and the lazy drained-entry cleanup — is computed once
+        shared = placement.global_head()
         domain_of = placement.domain_of
-        overflow_penalty = self.engine.config.queue_overflow_penalty
-        smxs = self.engine.smxs
+        smxs = self._smxs
         num_smx = len(smxs)
         for i in range(1, num_smx + 1):
             smx_id = (self._smx_ptr + i) % num_smx
@@ -159,15 +180,22 @@ class ComposedScheduler(TBScheduler):
                 if queue.entries:
                     entry = queue.head()
             if entry is None:
-                entry = global_head()  # stage 2: shared parent queue
+                entry = shared  # stage 2: shared parent queue
                 if entry is None and steal is not None:
                     entry = steal.candidate(smx_id, now)  # stage 3
                 if entry is None:
                     continue
             tb = entry.peek()
-            if not smx.can_fit(tb):
+            # SMX.can_fit, inlined (hot rotation; kept in sync with smx.py)
+            res = tb.resources
+            if not (
+                len(smx.resident_tbs) < smx.dynamic_cap
+                and smx.free_threads >= res.threads
+                and smx.free_registers >= res.registers
+                and smx.free_smem >= res.smem_bytes
+            ):
                 continue
-            delay = entry.dispatch_penalty(overflow_penalty)
+            delay = entry.dispatch_penalty(self._overflow_penalty)
             entry.pop()
             self._smx_ptr = smx_id
             return self._place(tb, smx, now, delay=delay)

@@ -14,25 +14,40 @@ import heapq
 import itertools
 from typing import Optional, TYPE_CHECKING
 
+from repro.gpu.compiled import CompiledBody
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import TBState, ThreadBlock
-from repro.gpu.trace import Instr, Op
+from repro.gpu.trace import Op
 from repro.telemetry.events import WarpStall
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.engine import Engine
 
-# hot-path constants: module-level bindings are one dict lookup instead of
-# two (module attribute, then enum member) inside the issue loop
-_OP_COMPUTE = Op.COMPUTE
-_OP_LOAD = Op.LOAD
-_OP_STORE = Op.STORE
+# hot-path constants: plain ints, because the compiled instruction
+# columns (array('q')) hand back ordinary ints — module-level bindings
+# are one dict lookup instead of two (module attribute, then enum
+# member) inside the issue loop
+_OP_COMPUTE = int(Op.COMPUTE)
+_OP_LOAD = int(Op.LOAD)
+_OP_STORE = int(Op.STORE)
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+# The ready/stalled heaps hold ``(tier, age, warp)`` / ``(wake, age,
+# warp)`` tuples. ``age`` is unique per SMX, so heap sift never reaches
+# the warp objects. (Packing the key fields into one int was measured
+# slower here: these heaps stay tiny, so the saved tuple comparisons
+# don't cover the extra shift/mask bytecode at every push/pop site.)
+
 
 class WarpContext:
-    """Runtime state of one warp.
+    """Runtime state of one warp, replaying a compiled instruction trace.
+
+    The static trace is the warp's slice of a
+    :class:`~repro.gpu.compiled.CompiledBody`: flat ``ops``/``args``/
+    ``offs`` columns plus the body-shared coalesced-line pool and launch
+    table. The issue loop indexes these arrays directly — no ``Instr``
+    objects are touched after dispatch.
 
     ``outstanding`` models memory-level parallelism: consecutive loads
     pipeline (each takes one issue cycle), and the warp only stalls when a
@@ -40,10 +55,30 @@ class WarpContext:
     outstanding load has returned.
     """
 
-    __slots__ = ("instrs", "pc", "ready_at", "outstanding", "tb", "age", "smx_id")
+    __slots__ = (
+        "ops",
+        "args",
+        "offs",
+        "lines",
+        "launches",
+        "n",
+        "pc",
+        "ready_at",
+        "outstanding",
+        "tb",
+        "age",
+        "smx_id",
+    )
 
-    def __init__(self, instrs: list[Instr], tb: ThreadBlock, age: int, smx_id: int) -> None:
-        self.instrs = instrs
+    def __init__(
+        self, compiled: CompiledBody, warp_index: int, tb: ThreadBlock, age: int, smx_id: int
+    ) -> None:
+        self.ops = compiled.warp_ops[warp_index]
+        self.args = compiled.warp_args[warp_index]
+        self.offs = compiled.warp_offs[warp_index]
+        self.lines = compiled.lines
+        self.launches = compiled.launches
+        self.n = len(self.ops)
         self.pc = 0
         self.ready_at = 0
         self.outstanding = 0  # completion time of the slowest in-flight load
@@ -53,13 +88,13 @@ class WarpContext:
 
     @property
     def done(self) -> bool:
-        return self.pc >= len(self.instrs)
+        return self.pc >= self.n
 
     def blocked_on_loads(self, now: int) -> bool:
         """True when the next instruction must wait for in-flight loads."""
-        if self.done or self.outstanding <= now:
+        if self.pc >= self.n or self.outstanding <= now:
             return False
-        return self.instrs[self.pc].op != Op.LOAD
+        return self.ops[self.pc] != _OP_LOAD
 
 
 class SMX:
@@ -68,6 +103,7 @@ class SMX:
     def __init__(self, smx_id: int, config: GPUConfig) -> None:
         self.smx_id = smx_id
         self.config = config
+        self._line_bytes = config.line_bytes
         self.free_threads = config.max_threads_per_smx
         self.free_tb_slots = config.max_tbs_per_smx
         # dynamic residency cap, adjusted by contention-aware TB throttling
@@ -76,10 +112,10 @@ class SMX:
         self.free_registers = config.max_registers_per_smx
         self.free_smem = config.shared_mem_per_smx
         self.port_free_at = 0
-        # warps ready to issue, keyed by (tier, age): tier 0 = member of
+        # warps ready to issue, keyed by tier<<32 | age: tier 0 = member of
         # the two-level active set (always 0 for GTO/LRR), then oldest-first
         self._ready: list[tuple[int, int, WarpContext]] = []
-        # warps waiting on latency, keyed by wake-up time
+        # warps waiting on latency, keyed by wake_cycle<<32 | age
         self._stalled: list[tuple[int, int, WarpContext]] = []
         self._current: Optional[WarpContext] = None  # GTO greedy target
         self._age_counter = itertools.count()
@@ -93,10 +129,20 @@ class SMX:
         # earliest scheduled engine visit (the wake-calendar handle);
         # owned by Engine, None = not scheduled
         self.wake_at: Optional[int] = None
+        # per-SMX memory accessor (MemoryHierarchy.accessor), bound lazily
+        # on the first memory instruction
+        self._mem_access = None
         # statistics
         self.issued_instructions = 0
-        self.issue_cycles = 0  # cycles the issue port was occupied
         self.tbs_executed = 0
+
+    @property
+    def issue_cycles(self) -> int:
+        """Cycles the issue port was occupied. In this model every issued
+        instruction occupies the port for exactly one cycle (a COMPUTE of
+        ``n`` cycles stands for ``n`` back-to-back instructions), so the
+        busy-cycle count equals the instruction count."""
+        return self.issued_instructions
 
     # ----- occupancy -------------------------------------------------------
     def can_fit(self, tb: ThreadBlock) -> bool:
@@ -122,11 +168,14 @@ class SMX:
         tb.state = TBState.RUNNING
         tb.smx_id = self.smx_id
         tb.dispatched_at = now
-        tb.active_warps = tb.body.num_warps
+        # lower the body once (interned on the TBBody: every other TB
+        # replaying it — DTBL siblings, later engine runs — shares this)
+        compiled = tb.body.compiled(self._line_bytes)
+        tb.active_warps = compiled.num_warps
         self.resident_tbs.add(tb)
         start = now + start_delay
-        for warp_instrs in tb.body.warps:
-            warp = WarpContext(warp_instrs, tb, next(self._age_counter), self.smx_id)
+        for warp_index in range(compiled.num_warps):
+            warp = WarpContext(compiled, warp_index, tb, next(self._age_counter), self.smx_id)
             warp.ready_at = start
             if start <= now:
                 self._push_ready(warp)
@@ -196,9 +245,11 @@ class SMX:
             warp = self._pick_warp(now)
             if warp is None:
                 return False
+            ops = warp.ops
+            pc = warp.pc
             # inline WarpContext.blocked_on_loads (hot path; picked warps
             # are never done — finished warps are dropped, not re-queued)
-            if warp.outstanding > now and warp.instrs[warp.pc].op != op_load:
+            if warp.outstanding > now and ops[pc] != op_load:
                 # the next instruction uses in-flight load data: park the
                 # warp until its slowest outstanding load returns
                 if self._current is warp:
@@ -217,41 +268,45 @@ class SMX:
                 self._park(warp, warp.outstanding, now)
                 continue
             break
-        instr = warp.instrs[warp.pc]
-        warp.pc += 1
-        op = instr.op
+        op = ops[pc]
+        arg = warp.args[pc]
+        warp.pc = pc + 1
         if op == _OP_COMPUTE:
-            duration = instr.cycles
-            warp.ready_at = now + duration
-            self.port_free_at = now + duration
-            self.issued_instructions += duration
-            self.issue_cycles += duration
+            done = now + arg
+            warp.ready_at = done
+            self.port_free_at = done
+            self.issued_instructions += arg
         elif op == op_load:
-            done = engine.memory.access_instr(self.smx_id, instr, now)
+            mem = self._mem_access
+            if mem is None:
+                mem = self._mem_access = engine.memory.accessor(self.smx_id)
+            off = warp.offs[pc]
+            done = mem(warp.lines, off, off + arg, now)
             # loads pipeline: the warp keeps issuing, stalling only at a use
             if done > warp.outstanding:
                 warp.outstanding = done
             warp.ready_at = now + 1
             self.port_free_at = now + 1
             self.issued_instructions += 1
-            self.issue_cycles += 1
         elif op == _OP_STORE:
             # write-through, fire-and-forget: the warp does not stall
-            engine.memory.access_instr(self.smx_id, instr, now, is_write=True)
+            mem = self._mem_access
+            if mem is None:
+                mem = self._mem_access = engine.memory.accessor(self.smx_id)
+            off = warp.offs[pc]
+            mem(warp.lines, off, off + arg, now, True)
             warp.ready_at = now + 1
             self.port_free_at = now + 1
             self.issued_instructions += 1
-            self.issue_cycles += 1
         else:  # Op.LAUNCH
-            engine.handle_launch(warp.tb, instr.launch, now)
+            engine.handle_launch(warp.tb, warp.launches[arg], now)
             # parent-side API overhead is folded into the launch latency;
             # the launching warp itself continues after a pipeline bubble
             warp.ready_at = now + 1
             self.port_free_at = now + 1
             self.issued_instructions += 1
-            self.issue_cycles += 1
 
-        if warp.pc >= len(warp.instrs):  # warp.done, inlined
+        if warp.pc >= warp.n:  # warp.done, inlined
             self._current = None
             self._active.discard(id(warp))
             tb = warp.tb

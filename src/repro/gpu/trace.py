@@ -89,10 +89,29 @@ class TBBody:
     """The static behaviour of one thread block: one trace per warp."""
 
     warps: list[list[Instr]]
+    # interned ahead-of-time lowering (repro.gpu.compiled): every thread
+    # block replaying this body shares one compiled object, keyed by the
+    # line size it was lowered for
+    _compiled: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.warps:
             raise ValueError("a thread block needs at least one warp")
+
+    def compiled(self, line_bytes: int):
+        """The flat-array lowering of this body (compiled once, shared).
+
+        See :mod:`repro.gpu.compiled`. The result is cached on the body;
+        a different ``line_bytes`` recompiles (machine configurations in
+        one process virtually always agree on the line size).
+        """
+        compiled = self._compiled
+        if compiled is None or compiled.line_bytes != line_bytes:
+            from repro.gpu.compiled import compile_body
+
+            compiled = compile_body(self, line_bytes)
+            self._compiled = compiled
+        return compiled
 
     @property
     def num_warps(self) -> int:

@@ -19,6 +19,13 @@ from repro.harness.execution import (
     seed_kernel_cache,
 )
 from repro.harness.export import grid_records, grid_to_csv, grid_to_json, write_grid
+from repro.harness.workload_cache import (
+    TRACE_VERSION,
+    WorkloadCache,
+    active_workload_cache,
+    configure_workload_cache,
+    disable_workload_cache,
+)
 from repro.harness.runner import (
     DEFAULT_LATENCIES,
     DEFAULT_MODELS,
@@ -42,6 +49,11 @@ __all__ = [
     "RunSpec",
     "SeedSweepResult",
     "SerialExecutor",
+    "TRACE_VERSION",
+    "WorkloadCache",
+    "active_workload_cache",
+    "configure_workload_cache",
+    "disable_workload_cache",
     "benchmark_names",
     "grid_records",
     "grid_to_csv",

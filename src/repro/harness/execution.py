@@ -47,6 +47,10 @@ from repro.gpu.serialize import (
 )
 from repro.gpu.stats import SimStats
 from repro.harness.cache import ResultCache
+from repro.harness.workload_cache import (
+    active_workload_cache,
+    configure_workload_cache,
+)
 from repro.telemetry.events import NULL_SINK, TelemetrySink
 from repro.telemetry.metrics import MetricsSink
 
@@ -240,6 +244,12 @@ class RunSpec:
 # trace depends on — and shared across executor calls in this process.
 # Worker processes get their own copy of this cache (prepopulated for
 # free under the ``fork`` start method).
+#
+# Below the in-memory layer sits the optional on-disk workload cache
+# (repro.harness.workload_cache): executors built with a result cache
+# activate it at <result-cache-root>/workloads/, after which traces
+# persist across processes and ``repro`` invocations — a warm grid or
+# tune run executes zero datagen steps.
 
 _KERNEL_CACHE: "OrderedDict[tuple[str, str, int], KernelSpec]" = OrderedDict()
 _KERNEL_CACHE_MAX = 32
@@ -252,27 +262,67 @@ def _remember_kernel(key: tuple[str, str, int], spec: KernelSpec) -> None:
         _KERNEL_CACHE.popitem(last=False)
 
 
+def _is_registry_workload(workload) -> bool:
+    """Whether (full_name, scale, seed) fully determines this workload.
+
+    Only exact registry classes qualify: a custom subclass may share a
+    name with a Table II application while generating a different trace,
+    so it must never be answered from the content-addressed disk cache.
+    """
+    from repro.workloads import APPLICATIONS
+
+    return type(workload) is APPLICATIONS.get(workload.name)
+
+
 def seed_kernel_cache(workload) -> None:
-    """Register an already-built workload so executors reuse its trace.
+    """Register a workload so executors reuse (or cache-load) its trace.
 
     This also lets :class:`SerialExecutor` run workloads that are not in
     the Table II registry (e.g. custom :class:`~repro.workloads.Workload`
     subclasses), which could not be rebuilt by name in a worker process.
+
+    For registry workloads this is also where grid runs meet the on-disk
+    workload cache: an unbuilt workload is answered from disk when a
+    cached trace exists (skipping datagen entirely), and a freshly built
+    or pre-built trace is persisted for future processes.
     """
-    _remember_kernel((workload.full_name, workload.scale, workload.seed), workload.kernel())
+    key = (workload.full_name, workload.scale, workload.seed)
+    disk = active_workload_cache()
+    if disk is None or not _is_registry_workload(workload):
+        _remember_kernel(key, workload.kernel())
+        return
+    if workload.is_built:
+        spec = workload.kernel()
+        disk.store(workload.full_name, workload.scale, workload.seed, spec)
+    else:
+        spec = disk.load(workload.full_name, workload.scale, workload.seed)
+        if spec is None:
+            spec = workload.kernel()
+            disk.store(workload.full_name, workload.scale, workload.seed, spec)
+    _remember_kernel(key, spec)
 
 
 def kernel_for(benchmark: str, scale: str, seed: int) -> KernelSpec:
-    """The (cached) kernel trace for one registry benchmark."""
+    """The (cached) kernel trace for one registry benchmark.
+
+    Resolution order: in-memory LRU, then the active on-disk workload
+    cache, then a real build (datagen + trace generation), whose result
+    is stored back to both layers.
+    """
     key = (benchmark, scale, seed)
     spec = _KERNEL_CACHE.get(key)
+    if spec is not None:
+        _KERNEL_CACHE.move_to_end(key)
+        return spec
+    disk = active_workload_cache()
+    spec = disk.load(benchmark, scale, seed) if disk is not None else None
     if spec is None:
         from repro.harness.registry import load_benchmark
 
         spec = load_benchmark(benchmark, scale=scale, seed=seed).kernel()
-        _remember_kernel(key, spec)
-    else:
-        _KERNEL_CACHE.move_to_end(key)
+        if disk is not None:
+            disk.store(benchmark, scale, seed, spec)
+    _remember_kernel(key, spec)
     return spec
 
 
@@ -300,6 +350,18 @@ def run_spec_with_summary(spec: RunSpec) -> tuple[SimStats, dict]:
     sink = MetricsSink(label=spec.scheduler)
     stats = run_spec(spec, telemetry=sink)
     return stats, sink.summary(stats)
+
+
+def _worker_init(workload_root: str, keys: Sequence[tuple[str, str, int]]) -> None:
+    """Process-pool initializer: attach the parent's workload cache and
+    pre-load the traces this batch needs.
+
+    The parent stored every workload before fanning out, so each worker
+    deserializes traces instead of regenerating them (under the ``fork``
+    start method the pre-load is a pure in-memory hit)."""
+    configure_workload_cache(workload_root)
+    for benchmark, scale, seed in keys:
+        kernel_for(benchmark, scale, seed)
 
 
 def _worker_run(payload: dict) -> dict:
@@ -339,6 +401,11 @@ class Executor:
         collect_telemetry: bool = False,
     ) -> None:
         self.cache = cache
+        # a result cache brings a workload cache along at
+        # <root>/workloads/, so cache-miss runs at least skip datagen
+        self.workload_cache = (
+            configure_workload_cache(cache.root / "workloads") if cache is not None else None
+        )
         self.collect_telemetry = collect_telemetry
         #: telemetry summaries by spec (only populated when collecting)
         self.telemetry: dict[RunSpec, dict] = {}
@@ -451,7 +518,23 @@ class ParallelExecutor(Executor):
     def _execute(self, specs: Sequence[RunSpec]) -> list[SimStats]:
         if len(specs) == 1 or self.jobs == 1:
             return SerialExecutor._execute(self, specs)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+        initializer = None
+        initargs = ()
+        disk = active_workload_cache()
+        if disk is not None:
+            # build (or disk-load) every distinct workload once up front:
+            # workers then share the stored traces instead of each
+            # regenerating its own copy
+            keys = list(dict.fromkeys((s.benchmark, s.scale, s.seed) for s in specs))
+            for benchmark, scale, seed in keys:
+                kernel_for(benchmark, scale, seed)
+            initializer = _worker_init
+            initargs = (str(disk.root), keys)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(specs)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
             payloads = [
                 {"spec": spec.to_dict(), "collect_telemetry": self.collect_telemetry}
                 for spec in specs

@@ -226,10 +226,12 @@ def run_grid(
 ) -> GridResult:
     """Run the full evaluation grid (Figures 7, 8 and 9).
 
-    Already-built workload traces are registered with the execution
-    layer, so a serial executor never rebuilds them; worker processes
-    rebuild by (benchmark, scale, seed). Workloads outside the Table II
-    registry therefore require a serial executor.
+    Workload traces are registered with the execution layer, so a serial
+    executor never rebuilds them; with a result cache attached, traces
+    also persist in the on-disk workload cache, and a warm grid runs
+    zero datagen steps (worker processes pre-load the stored traces
+    instead of rebuilding by (benchmark, scale, seed)). Workloads
+    outside the Table II registry require a serial executor.
 
     ``schedulers`` accepts any grammar spelling (named composition, spec
     string, ``+throttle``); grid rows are keyed by canonical label.

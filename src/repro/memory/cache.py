@@ -13,6 +13,9 @@ from dataclasses import dataclass
 
 from repro.gpu.config import CacheConfig
 
+#: miss sentinel for the single-probe set walk (see :meth:`Cache.access`)
+_MISS = object()
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -69,15 +72,16 @@ class Cache:
 
         This is the hottest function of the memory path (every coalesced
         transaction passes through it at least once), hence the flat
-        single-lookup structure: statistics are batched per branch and the
-        set dict is resolved without helper calls.
+        single-lookup structure: each set dict is an open-addressed hash
+        table, and ``pop`` with a sentinel resolves the line→way lookup
+        (hit test + LRU unlink) in a single probe instead of the three a
+        contains/del/insert sequence would cost.
         """
         cache_set = self._sets[line_addr % self.num_sets]
         stats = self.stats
         stats.accesses += 1
-        if line_addr in cache_set:
-            # refresh LRU position
-            del cache_set[line_addr]
+        if cache_set.pop(line_addr, _MISS) is not _MISS:
+            # reinsert at the MRU (most recently inserted) position
             cache_set[line_addr] = None
             stats.hits += 1
             if is_write:

@@ -27,6 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: are evicted; large enough that real workloads never reach it
 MSHR_TABLE_LIMIT = 4096
 
+#: miss sentinel for the single-probe (open-addressed dict) set walk:
+#: ``cache_set.pop(line, _MISS)`` resolves hit-test + LRU-unlink in one
+#: hash probe, and can never collide with a stored value (always None)
+_MISS = object()
+
 
 @dataclass(slots=True)
 class AccessResult:
@@ -93,6 +98,143 @@ class MemoryHierarchy:
         self._l1_lat = config.l1_hit_latency
         self._l2_lat = config.l2_hit_latency
         self._l1_fast = [(l1._sets, l1.num_sets, l1.associativity, l1.stats) for l1 in self.l1s]
+        self._l2_fast = [(c._sets, c.num_sets, c.associativity, c.stats) for c in self.l2_parts]
+        self._accessors: dict[int, object] = {}
+
+    def accessor(self, smx_id: int):
+        """A per-SMX bound fast accessor, ``fn(lines, begin, end, now,
+        is_write=False) -> complete_at``.
+
+        The closure specializes :meth:`access_lines` for one SMX: every
+        per-call constant (set lists, associativities, latencies, the
+        bound DRAM service method) is frozen into default arguments, so
+        the per-access prologue collapses to local-variable loads. All
+        referenced structures are mutated in place and never rebound
+        (cache sets via ``invalidate_all``, the MSHR dict via
+        ``_mshr_insert``), so the bindings cannot go stale. Partitioned
+        L2 configurations delegate to the generic walk — the per-line
+        partition re-binding would erase the specialization win.
+        """
+        fn = self._accessors.get(smx_id)
+        if fn is None:
+            if self._parts > 1:
+                def fn(lines, begin, end, now, is_write=False, _self=self, _sid=smx_id):
+                    return _self.access_lines(_sid, lines, begin, end, now, is_write=is_write)
+            else:
+                fn = self._make_accessor(smx_id)
+            self._accessors[smx_id] = fn
+        return fn
+
+    def _make_accessor(self, smx_id: int):
+        l1_sets, l1_num_sets, l1_assoc, l1_stats = self._l1_fast[smx_id]
+        l2_sets, l2_num_sets, l2_assoc, l2_stats = self._l2_fast[0]
+
+        def access(
+            lines,
+            begin,
+            end,
+            now,
+            is_write=False,
+            _l1_sets=l1_sets,
+            _l1_num_sets=l1_num_sets,
+            _l1_assoc=l1_assoc,
+            _l1_stats=l1_stats,
+            _l2_sets=l2_sets,
+            _l2_num_sets=l2_num_sets,
+            _l2_assoc=l2_assoc,
+            _l2_stats=l2_stats,
+            _dram_service=self.drams[0].service,
+            _inflight=self._inflight,
+            _inflight_get=self._inflight.get,
+            _cfg_merging=self._merging,
+            _l1_lat=self._l1_lat,
+            _l2_lat=self._l2_lat,
+            _miss=_MISS,
+            _hier=self,
+        ):
+            # state-identical to access_lines (pinned by the golden
+            # equivalence suite); see that method for the commentary
+            complete_at = now
+            merging = _cfg_merging and bool(_inflight)
+            l1_hit = l1_miss = l1_evict = l1_wacc = l1_whit = 0
+            l2_hit = l2_miss = l2_evict = l2_wacc = l2_whit = 0
+            for k in range(begin, end):
+                line = lines[k]
+                cache_set = _l1_sets[line % _l1_num_sets]
+                if cache_set.pop(line, _miss) is not _miss:
+                    cache_set[line] = None
+                    l1_hit += 1
+                    if not is_write:
+                        fill = _inflight_get(line, 0) if merging else 0
+                        if fill > now:
+                            _hier.mshr_merges += 1
+                            if fill > complete_at:
+                                complete_at = fill
+                        else:
+                            done = now + _l1_lat
+                            if done > complete_at:
+                                complete_at = done
+                        continue
+                    l1_wacc += 1
+                    l1_whit += 1
+                else:
+                    l1_miss += 1
+                    if is_write:
+                        l1_wacc += 1
+                    else:
+                        if len(cache_set) >= _l1_assoc:
+                            del cache_set[next(iter(cache_set))]
+                            l1_evict += 1
+                        cache_set[line] = None
+                l2_set = _l2_sets[line % _l2_num_sets]
+                if l2_set.pop(line, _miss) is not _miss:
+                    l2_set[line] = None
+                    l2_hit += 1
+                    if is_write:
+                        l2_wacc += 1
+                        l2_whit += 1
+                    fill = _inflight_get(line, 0) if merging else 0
+                    if fill > now:
+                        _hier.mshr_merges += 1
+                        if fill > complete_at:
+                            complete_at = fill
+                    else:
+                        done = now + _l2_lat
+                        if done > complete_at:
+                            complete_at = done
+                else:
+                    l2_miss += 1
+                    if is_write:
+                        l2_wacc += 1
+                    if len(l2_set) >= _l2_assoc:
+                        del l2_set[next(iter(l2_set))]
+                        l2_evict += 1
+                    l2_set[line] = None
+                    done = _dram_service(now)
+                    if not is_write and _cfg_merging:
+                        _hier._mshr_insert(line, done, now)
+                        merging = True
+                    if done > complete_at:
+                        complete_at = done
+            _l1_stats.accesses += l1_hit + l1_miss
+            _l1_stats.hits += l1_hit
+            _l1_stats.misses += l1_miss
+            if l1_evict:
+                _l1_stats.evictions += l1_evict
+            if l1_wacc:
+                _l1_stats.write_accesses += l1_wacc
+                _l1_stats.write_hits += l1_whit
+            _l2_stats.accesses += l2_hit + l2_miss
+            _l2_stats.hits += l2_hit
+            _l2_stats.misses += l2_miss
+            if l2_evict:
+                _l2_stats.evictions += l2_evict
+            if l2_wacc:
+                _l2_stats.write_accesses += l2_wacc
+                _l2_stats.write_hits += l2_whit
+            return complete_at
+
+        return access
 
     def access_warp(
         self,
@@ -111,33 +253,65 @@ class MemoryHierarchy:
         self, smx_id: int, instr: "Instr", now: int, *, is_write: bool = False
     ) -> int:
         """Issue one traced memory instruction and return the cycle at
-        which its slowest transaction completes.
-
-        This is the SMX pipeline's hot path: it reuses the instruction's
-        memoized coalescing (:meth:`repro.gpu.trace.Instr.coalesced`) and
-        runs a lean copy of the :meth:`_access_lines` walk that updates the
-        same cache/DRAM/MSHR state but skips the per-access hit bookkeeping
-        and the :class:`AccessResult` allocation. The two loops must stay
-        state-identical — ``_access_lines`` is the reference and the golden
-        equivalence suite pins them together.
+        which its slowest transaction completes (compatibility wrapper
+        over :meth:`access_lines` for callers holding ``Instr`` objects).
         """
         lines = instr.coalesced(self._line_bytes)
+        return self.access_lines(smx_id, lines, 0, len(lines), now, is_write=is_write)
+
+    def access_lines(
+        self,
+        smx_id: int,
+        lines,
+        begin: int,
+        end: int,
+        now: int,
+        *,
+        is_write: bool = False,
+    ) -> int:
+        """Walk the coalesced lines ``lines[begin:end]`` through
+        L1 → L2 → DRAM and return the slowest completion cycle.
+
+        This is the SMX pipeline's hot path, fed directly from a
+        :class:`~repro.gpu.compiled.CompiledBody` line pool — ``lines``
+        is any indexable of line addresses and the slice bounds avoid
+        per-access list allocation. Both cache levels are walked inline
+        with a single open-addressed probe per set (``dict.pop`` with a
+        sentinel: hit-test and LRU-unlink in one hash lookup) and L1 hit
+        counters batched into locals, flushed once per call. The walk
+        updates the same cache/DRAM/MSHR state as the readable
+        :meth:`_access_lines` reference but skips the per-access hit
+        bookkeeping and the :class:`AccessResult` allocation; the two
+        loops must stay state-identical — the golden equivalence suite
+        pins them together.
+        """
         complete_at = now
-        merging = self._merging
         parts = self._parts
-        inflight_get = self._inflight.get
-        l2_parts = self.l2_parts
+        inflight = self._inflight
+        inflight_get = inflight.get
+        # ``merging`` folds in dict emptiness: an empty MSHR table cannot
+        # merge anything, so the per-line fill probe is skipped entirely
+        # (state-identical — ``get`` on an empty dict returns the default)
+        merging = self._merging and bool(inflight)
+        l2_fast = self._l2_fast
         drams = self.drams
         l1_hit_latency = self._l1_lat
         l2_hit_latency = self._l2_lat
         l1_sets, l1_num_sets, l1_assoc, l1_stats = self._l1_fast[smx_id]
-        for line in lines:
+        # the monolithic-L2 common case binds its one partition up front
+        multi_part = parts > 1
+        l2_sets, l2_num_sets, l2_assoc, l2_stats = l2_fast[0]
+        dram = drams[0]
+        miss = _MISS
+        l1_acc = l1_hit = l1_miss = l1_evict = l1_wacc = l1_whit = 0
+        l2_acc = l2_hit = l2_miss = l2_evict = l2_wacc = l2_whit = 0
+        for k in range(begin, end):
+            line = lines[k]
             cache_set = l1_sets[line % l1_num_sets]
-            l1_stats.accesses += 1
-            if line in cache_set:
-                del cache_set[line]
-                cache_set[line] = None
-                l1_stats.hits += 1
+            l1_acc += 1
+            if cache_set.pop(line, miss) is not miss:
+                cache_set[line] = None  # reinsert at MRU position
+                l1_hit += 1
                 if not is_write:
                     fill = inflight_get(line, 0) if merging else 0
                     if fill > now:
@@ -149,19 +323,39 @@ class MemoryHierarchy:
                         if done > complete_at:
                             complete_at = done
                     continue
-                l1_stats.write_accesses += 1
-                l1_stats.write_hits += 1
+                l1_wacc += 1
+                l1_whit += 1
             else:
-                l1_stats.misses += 1
+                l1_miss += 1
                 if is_write:
-                    l1_stats.write_accesses += 1
+                    l1_wacc += 1
                 else:
                     if len(cache_set) >= l1_assoc:
                         del cache_set[next(iter(cache_set))]
-                        l1_stats.evictions += 1
+                        l1_evict += 1
                     cache_set[line] = None
-            part = line % parts
-            if l2_parts[part].access(line, is_write=is_write, allocate=True):
+            # L2 (allocates on both loads and stores), inlined like L1
+            if multi_part:
+                part = line % parts
+                l2_sets, l2_num_sets, l2_assoc, l2_stats = l2_fast[part]
+                dram = drams[part]
+            l2_set = l2_sets[line % l2_num_sets]
+            if multi_part:
+                l2_stats.accesses += 1
+            else:
+                l2_acc += 1
+            if l2_set.pop(line, miss) is not miss:
+                l2_set[line] = None
+                if multi_part:
+                    l2_stats.hits += 1
+                    if is_write:
+                        l2_stats.write_accesses += 1
+                        l2_stats.write_hits += 1
+                else:
+                    l2_hit += 1
+                    if is_write:
+                        l2_wacc += 1
+                        l2_whit += 1
                 fill = inflight_get(line, 0) if merging else 0
                 if fill > now:
                     self.mshr_merges += 1
@@ -172,11 +366,43 @@ class MemoryHierarchy:
                     if done > complete_at:
                         complete_at = done
             else:
-                done = drams[part].service(now)
-                if merging and not is_write:
+                if multi_part:
+                    l2_stats.misses += 1
+                    if is_write:
+                        l2_stats.write_accesses += 1
+                else:
+                    l2_miss += 1
+                    if is_write:
+                        l2_wacc += 1
+                if len(l2_set) >= l2_assoc:
+                    del l2_set[next(iter(l2_set))]
+                    if multi_part:
+                        l2_stats.evictions += 1
+                    else:
+                        l2_evict += 1
+                l2_set[line] = None
+                done = dram.service(now)
+                if not is_write and self._merging:
                     self._mshr_insert(line, done, now)
+                    merging = True  # the table is non-empty from here on
                 if done > complete_at:
                     complete_at = done
+        l1_stats.accesses += l1_acc
+        l1_stats.hits += l1_hit
+        l1_stats.misses += l1_miss
+        if l1_evict:
+            l1_stats.evictions += l1_evict
+        if l1_wacc:
+            l1_stats.write_accesses += l1_wacc
+            l1_stats.write_hits += l1_whit
+        if l2_acc:
+            l2_stats.accesses += l2_acc
+            l2_stats.hits += l2_hit
+            l2_stats.misses += l2_miss
+            l2_stats.evictions += l2_evict
+            if l2_wacc:
+                l2_stats.write_accesses += l2_wacc
+                l2_stats.write_hits += l2_whit
         return complete_at
 
     def _mshr_insert(self, line: int, done: int, now: int) -> None:

@@ -188,6 +188,11 @@ class Workload(ABC):
     def build(self) -> KernelSpec:
         """Generate data and return the host kernel spec (cached)."""
 
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`kernel` has already generated the trace."""
+        return self._spec is not None
+
     def kernel(self) -> KernelSpec:
         """Build once and cache (trace generation can be expensive)."""
         if self._spec is None:

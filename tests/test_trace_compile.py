@@ -1,0 +1,130 @@
+"""Compiled-trace equivalence: the flat-array lowering vs the Instr list.
+
+``repro.gpu.compiled`` lowers each :class:`TBBody` into parallel
+``array('q')`` columns that the SMX issue loop indexes directly. The
+lowering must be purely structural: for every instruction, the columns
+must encode exactly what interpreting the :class:`Instr` object would
+have produced — op code, compute latency, coalesced line list, launch
+target. This suite pins that property over every body of real (tiny)
+workloads and over randomly generated traces.
+"""
+
+import random
+
+import pytest
+
+from repro.gpu.compiled import OP_COMPUTE, OP_LAUNCH, OP_LOAD, OP_STORE
+from repro.gpu.trace import (
+    Instr,
+    LaunchSpec,
+    Op,
+    TBBody,
+    compute,
+    launch,
+    load,
+    store,
+    walk_bodies,
+)
+from repro.harness.execution import kernel_for
+
+LINE_BYTES = 128
+
+
+def assert_equivalent(body: TBBody, line_bytes: int = LINE_BYTES) -> None:
+    """Every column entry must match interpreting the original Instr."""
+    compiled = body.compiled(line_bytes)
+    assert compiled.num_warps == body.num_warps
+    assert compiled.line_bytes == line_bytes
+    for warp, ops, args, offs in zip(
+        body.warps, compiled.warp_ops, compiled.warp_args, compiled.warp_offs
+    ):
+        assert len(ops) == len(args) == len(offs) == len(warp)
+        for i, instr in enumerate(warp):
+            assert ops[i] == int(instr.op)
+            if ops[i] == OP_COMPUTE:
+                assert args[i] == instr.cycles
+            elif ops[i] == OP_LAUNCH:
+                assert compiled.launches[args[i]] is instr.launch
+            else:
+                assert ops[i] in (OP_LOAD, OP_STORE)
+                lines = list(compiled.lines[offs[i] : offs[i] + args[i]])
+                assert lines == instr.coalesced(line_bytes)
+
+
+def random_body(rng: random.Random) -> TBBody:
+    """A random multi-warp body covering every op kind."""
+    child = TBBody(warps=[[compute(1)]])
+    warps = []
+    for _ in range(rng.randint(1, 4)):
+        instrs: list[Instr] = []
+        for _ in range(rng.randint(1, 12)):
+            kind = rng.randrange(4)
+            if kind == 0:
+                instrs.append(compute(rng.randint(1, 50)))
+            elif kind == 3:
+                instrs.append(
+                    launch(LaunchSpec(bodies=[child], threads_per_tb=rng.choice((32, 256))))
+                )
+            else:
+                # scattered, duplicated, unsorted lanes (1-32 of them)
+                addrs = [rng.randrange(0, 1 << 20) for _ in range(rng.randint(1, 32))]
+                instrs.append(load(addrs) if kind == 1 else store(addrs))
+        if not instrs:
+            instrs.append(compute(1))
+        warps.append(instrs)
+    return TBBody(warps=warps)
+
+
+@pytest.mark.parametrize("bench_name", ["bfs-citation", "amr", "join-gaussian"])
+def test_real_workload_bodies_compile_equivalently(bench_name):
+    spec = kernel_for(bench_name, "tiny", 7)
+    bodies = walk_bodies(spec.bodies)
+    assert bodies, "workload produced no bodies"
+    for body in bodies:
+        assert_equivalent(body)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_bodies_compile_equivalently(seed):
+    rng = random.Random(seed)
+    assert_equivalent(random_body(rng))
+
+
+def test_random_bodies_compile_equivalently_at_other_line_sizes():
+    rng = random.Random(99)
+    for line_bytes in (32, 64, 256):
+        assert_equivalent(random_body(rng), line_bytes)
+
+
+def test_compiled_is_interned_per_body_and_line_size():
+    body = random_body(random.Random(1))
+    first = body.compiled(LINE_BYTES)
+    assert body.compiled(LINE_BYTES) is first  # cached
+    other = body.compiled(64)
+    assert other is not first and other.line_bytes == 64
+    assert_equivalent(body, 64)
+
+
+def test_launch_table_preserves_duplicates_in_trace_order():
+    child = TBBody(warps=[[compute(1)]])
+    spec = LaunchSpec(bodies=[child])
+    body = TBBody(warps=[[launch(spec), compute(2), launch(spec)]])
+    compiled = body.compiled(LINE_BYTES)
+    # one table entry per LAUNCH instruction, in issue order
+    assert [x for x in compiled.warp_ops[0]] == [int(Op.LAUNCH), int(Op.COMPUTE), int(Op.LAUNCH)]
+    assert compiled.launches[compiled.warp_args[0][0]] is spec
+    assert compiled.launches[compiled.warp_args[0][2]] is spec
+    assert len(compiled.launches) == 2
+
+
+def test_shared_body_shares_one_compiled_object():
+    child = TBBody(warps=[[compute(3)]])
+    parent_a = TBBody(warps=[[launch(LaunchSpec(bodies=[child]))]])
+    parent_b = TBBody(warps=[[launch(LaunchSpec(bodies=[child]))]])
+    assert parent_a is not parent_b
+    assert child.compiled(LINE_BYTES) is child.compiled(LINE_BYTES)
+    # reachable from both parents, still one compiled instance
+    seen = {
+        id(b.compiled(LINE_BYTES)) for b in walk_bodies([parent_a, parent_b]) if b is child
+    }
+    assert len(seen) == 1
