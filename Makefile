@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install lint test test-fast bench bench-tiny bench-json perf-smoke figures experiments grid-fast trace-demo tune-fast validate clean
+.PHONY: install lint test test-fast bench bench-tiny bench-json bench-refresh perf-smoke figures experiments grid-fast trace-demo tune-fast validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -32,6 +32,15 @@ bench-tiny:
 # engine throughput per scheduler -> BENCH_simulator.json (docs/simulator.md)
 bench-json:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_simulator.py -o BENCH_simulator.json
+
+# refresh the committed perf baseline after intentional perf work: measure
+# on a quiet machine, then overwrite BENCH_simulator.json (the printed
+# fresh-vs-old comparison goes in the PR; policy in docs/simulator.md)
+bench-refresh:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_simulator.py -o .bench_smoke.json \
+		--baseline BENCH_simulator.json
+	$(PYTHON) scripts/check_bench_regression.py .bench_smoke.json \
+		--baseline BENCH_simulator.json --update-baseline
 
 # CI perf gate: measure fresh throughput and fail if adaptive-bind drops
 # >25% below the committed BENCH_simulator.json baseline (docs/simulator.md)

@@ -16,6 +16,11 @@ wide: CI runners are noisy shared machines, so this catches structural
 regressions (an accidental O(n) in the issue loop), not percent-level
 drift — ``benchmarks/bench_simulator.py`` best-of-N numbers on a quiet
 machine are the instrument for the latter.
+
+``--update-baseline`` flips the tool from gate to refresher: the fresh
+report overwrites the baseline file and the run always exits 0. Use it
+through ``make bench-refresh`` after intentional perf work, on a quiet
+machine (policy in docs/simulator.md).
 """
 
 from __future__ import annotations
@@ -59,8 +64,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--schedulers",
         nargs="+",
-        default=["adaptive-bind"],
-        help="schedulers to gate on (default: adaptive-bind)",
+        default=["adaptive-bind", "adaptive-bind@vector"],
+        help="schedulers to gate on; '<name>@vector' rows gate the vector "
+        "engine backend (default: adaptive-bind, adaptive-bind@vector)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after reporting, overwrite the baseline file with the fresh "
+        "report and exit 0 (the 'make bench-refresh' flow; see "
+        "docs/simulator.md for when refreshing is legitimate)",
     )
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_regression < 1.0:
@@ -77,6 +90,15 @@ def main(argv=None) -> int:
         new = fresh.get("schedulers", {}).get(sched, {}).get("cycles_per_sec", 0)
         ratio = f"{new / base:.2f}x" if base else "n/a"
         print(f"{sched:>24}: fresh {new:,.0f} vs baseline {base:,.0f} cycles/sec ({ratio})")
+    if args.update_baseline:
+        # refresh: the fresh report becomes the committed baseline; the
+        # comparison above is printed for the record but never fails
+        with open(args.fresh, encoding="utf-8") as fh:
+            text = fh.read()
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"baseline {args.baseline} updated from {args.fresh}")
+        return 0
     if failures:
         for message in failures:
             print(f"REGRESSION {message}", file=sys.stderr)

@@ -138,12 +138,47 @@ def cmd_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled_run(spec: RunSpec, profile_out: str | None) -> int:
+    """Run one spec under cProfile and print the top cumulative-time rows.
+
+    The kernel is built (and memoized) *before* profiling starts so the
+    report shows engine work, not datagen; the executor/result cache is
+    bypassed for the same reason — a cache hit profiles nothing.
+    """
+    import cProfile
+    import pstats
+
+    from repro.harness.execution import kernel_for, run_spec
+
+    print(f"building {spec.benchmark} ({spec.scale}) ...", file=sys.stderr)
+    kernel_for(spec.benchmark, spec.scale, spec.seed)
+    print(f"profiling {spec.label()} ...", file=sys.stderr)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    stats = run_spec(spec)
+    profiler.disable()
+    print(stats.summary())
+    ps = pstats.Stats(profiler, stream=sys.stdout)
+    ps.sort_stats("cumulative").print_stats(20)
+    if profile_out:
+        ps.dump_stats(profile_out)
+        print(f"wrote {profile_out} (pstats format)", file=sys.stderr)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if not args.timeline:
-        executor = _executor_from_args(args)
         spec = RunSpec.create(
-            args.benchmark, args.scheduler, args.model, scale=args.scale, seed=args.seed
+            args.benchmark,
+            args.scheduler,
+            args.model,
+            scale=args.scale,
+            seed=args.seed,
+            backend=args.backend,
         )
+        if args.profile:
+            return _profiled_run(spec, args.profile_out)
+        executor = _executor_from_args(args)
         print(f"running {spec.label()} ...", file=sys.stderr)
         print(executor.run_one(spec).summary())
         return 0
@@ -158,7 +193,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = experiment_config()
     timeline = OccupancyTimeline(num_smx=config.num_smx)
     stats = simulate(
-        workload.kernel(), args.scheduler, args.model, config, telemetry=timeline
+        workload.kernel(),
+        args.scheduler,
+        args.model,
+        config,
+        telemetry=timeline,
+        backend=args.backend or None,
     )
     print(stats.summary())
     print(timeline.render(samples=72))
@@ -412,6 +452,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-s", "--scheduler", default="adaptive-bind")
     run_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
     run_p.add_argument("--timeline", action="store_true", help="print an SMX occupancy heatmap")
+    run_p.add_argument(
+        "--backend", choices=("scalar", "vector"), default="",
+        help="engine implementation; both simulate identical results "
+        "(default: scalar)",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top-20 cumulative functions "
+        "(bypasses the result cache)",
+    )
+    run_p.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="with --profile: also dump raw pstats data to FILE",
+    )
     _add_scale(run_p)
     _add_execution(run_p)
 

@@ -86,6 +86,13 @@ class RunSpec:
     normalizes to the canonical label at construction time, so
     ``"pri=level,bind=smx,steal=backup"`` and ``"adaptive-bind"`` denote
     the same spec and share one cache address.
+
+    ``backend`` selects the engine implementation (``""`` = engine
+    default, i.e. ``$REPRO_BACKEND`` or ``scalar``). Backends are
+    bit-for-bit equivalent, so the field is carried in the wire format
+    (:meth:`to_dict`) but excluded from :meth:`cache_key` and from the
+    identity recorded in cache records: scalar and vector runs of the
+    same experiment share one cache address.
     """
 
     benchmark: str
@@ -95,11 +102,16 @@ class RunSpec:
     seed: int = 7
     config_json: str = ""
     max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+    backend: str = ""
 
     def __post_init__(self) -> None:
         canonical = canonical_scheduler_name(self.scheduler)
         if canonical != self.scheduler:
             object.__setattr__(self, "scheduler", canonical)
+        if self.backend not in ("", "scalar", "vector"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}: expected 'scalar' or 'vector'"
+            )
         if not self.config_json:
             from repro.harness.registry import experiment_config
 
@@ -118,6 +130,7 @@ class RunSpec:
         seed: int = 7,
         config: Optional[GPUConfig] = None,
         max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+        backend: str = "",
     ) -> "RunSpec":
         """Build a spec from a real :class:`GPUConfig` (None = standard)."""
         config_json = "" if config is None else canonical_json(config_to_obj(config))
@@ -129,6 +142,7 @@ class RunSpec:
             seed=seed,
             config_json=config_json,
             max_cycles=max_cycles,
+            backend=backend,
         )
 
     @classmethod
@@ -140,6 +154,7 @@ class RunSpec:
         config: Optional[GPUConfig] = None,
         *,
         max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+        backend: str = "",
     ) -> "RunSpec":
         """Spec for an existing workload instance (name, scale and seed)."""
         return cls.create(
@@ -150,6 +165,7 @@ class RunSpec:
             seed=workload.seed,
             config=config,
             max_cycles=max_cycles,
+            backend=backend,
         )
 
     def gpu_config(self) -> GPUConfig:
@@ -194,6 +210,7 @@ class RunSpec:
                 else canonical_json(config_to_obj(config))
             ),
             max_cycles=self.max_cycles if max_cycles is ... else max_cycles,
+            backend=self.backend,
         )
 
     @property
@@ -206,6 +223,18 @@ class RunSpec:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         if out["max_cycles"] is None:
             out["max_cycles"] = _UNLIMITED
+        return out
+
+    def identity_dict(self) -> dict:
+        """The result-determining subset of :meth:`to_dict`.
+
+        Drops ``backend``: every backend simulates the same machine to
+        byte-identical stats (the equivalence suite pins this), so cache
+        records written under one backend answer the other — and records
+        written before the field existed stay valid.
+        """
+        out = self.to_dict()
+        del out["backend"]
         return out
 
     @classmethod
@@ -223,9 +252,10 @@ class RunSpec:
         """Content hash addressing this run in a :class:`ResultCache`.
 
         Includes :data:`ENGINE_VERSION`, so results simulated under older
-        engine semantics are never returned for current specs.
+        engine semantics are never returned for current specs. Built from
+        :meth:`identity_dict`, so backends share cache addresses.
         """
-        payload = {"engine_version": ENGINE_VERSION, "spec": self.to_dict()}
+        payload = {"engine_version": ENGINE_VERSION, "spec": self.identity_dict()}
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
     def label(self) -> str:
@@ -335,6 +365,7 @@ def run_spec(spec: RunSpec, telemetry: TelemetrySink = NULL_SINK) -> SimStats:
         [kernel_for(spec.benchmark, spec.scale, spec.seed)],
         max_cycles=spec.max_cycles,
         telemetry=telemetry,
+        backend=spec.backend or None,
     )
     return engine.run()
 
@@ -444,7 +475,7 @@ class Executor:
         if (
             record is None
             or record.get("engine_version") != ENGINE_VERSION
-            or record.get("spec") != spec.to_dict()
+            or record.get("spec") != spec.identity_dict()
             or not isinstance(record.get("stats"), dict)
         ):
             self.misses += 1
@@ -465,7 +496,7 @@ class Executor:
             return
         record = {
             "engine_version": ENGINE_VERSION,
-            "spec": spec.to_dict(),
+            "spec": spec.identity_dict(),
             "stats": stats_to_obj(stats),
         }
         summary = self.telemetry.get(spec)

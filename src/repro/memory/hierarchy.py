@@ -54,10 +54,13 @@ class MemoryHierarchy:
     L2 miss (the data was not resident) but consumes no DRAM bandwidth.
     """
 
-    def __init__(self, config: GPUConfig) -> None:
+    def __init__(self, config: GPUConfig, *, backend: str = "scalar") -> None:
         from repro.memory.dram import DRAM  # local import avoids cycle in docs builds
 
+        if backend not in ("scalar", "vector"):
+            raise ValueError(f"unknown memory backend {backend!r}; expected scalar or vector")
         self.config = config
+        self.backend = backend
         # one L1 per *cluster* (= per SMX when smxs_per_cluster == 1);
         # SMXs of the same cluster share it (paper Section IV-B, [25])
         clusters = [Cache(config.l1, name=f"L1[cluster {c}]") for c in range(config.num_clusters)]
@@ -100,6 +103,22 @@ class MemoryHierarchy:
         self._l1_fast = [(l1._sets, l1.num_sets, l1.associativity, l1.stats) for l1 in self.l1s]
         self._l2_fast = [(c._sets, c.num_sets, c.associativity, c.stats) for c in self.l2_parts]
         self._accessors: dict[int, object] = {}
+        # vector backend: numpy tag/stamp mirrors of the monolithic-L2 set
+        # state (memory/vectorized.py). Partitioned L2 configurations are
+        # not mirrored — their accessors fall back to the scalar walk.
+        self._vec_l1s: list = []
+        self._vec_l2 = None
+        if backend == "vector" and parts == 1:
+            from repro.memory.vectorized import (
+                DEFAULT_BATCH_THRESHOLD,
+                VectorCacheState,
+            )
+
+            vec_clusters = [VectorCacheState(c) for c in clusters]
+            self._vec_l1s = [vec_clusters[config.cluster_of(i)] for i in range(config.num_smx)]
+            self._vec_cluster_l1s = vec_clusters
+            self._vec_l2 = VectorCacheState(self.l2)
+            self.vector_batch_threshold = DEFAULT_BATCH_THRESHOLD
 
     def accessor(self, smx_id: int):
         """A per-SMX bound fast accessor, ``fn(lines, begin, end, now,
@@ -118,8 +137,13 @@ class MemoryHierarchy:
         fn = self._accessors.get(smx_id)
         if fn is None:
             if self._parts > 1:
+                # partitioned L2 (scalar AND vector backends): generic walk
                 def fn(lines, begin, end, now, is_write=False, _self=self, _sid=smx_id):
                     return _self.access_lines(_sid, lines, begin, end, now, is_write=is_write)
+            elif self._vec_l2 is not None:
+                from repro.memory.vectorized import make_vector_accessor
+
+                fn = make_vector_accessor(self, smx_id)
             else:
                 fn = self._make_accessor(smx_id)
             self._accessors[smx_id] = fn

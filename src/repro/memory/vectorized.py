@@ -1,0 +1,373 @@
+"""numpy-backed cache tag stores for the ``vector`` engine backend.
+
+The scalar memory path (:mod:`repro.memory.hierarchy`) keeps each cache
+set as an insertion-ordered dict, which doubles as the true-LRU stack.
+This module re-expresses the same set state so one warp instruction's
+coalesced-line span can be probed as a single numpy batch while short
+spans keep dict-walk speed:
+
+``tags``
+    per-cache ``int64`` array of shape ``num_sets * associativity``; a
+    negative entry is an invalid way (line addresses are non-negative —
+    the coalescer drops negative lanes), so ``tags >= 0`` *is* the valid
+    mask and no separate array is needed. The batch probe gathers each
+    span line's set block from this array and resolves every hit/miss in
+    one vectorized compare,
+``order``
+    one insertion-ordered dict per set, mapping ``line -> flat way``:
+    the same true-LRU stacks the scalar walk uses (hit = pop+reinsert,
+    victim = first key). Keeping LRU order in dicts instead of a stamp
+    array is a measured decision: an argmin-over-stamps victim scan is
+    O(associativity) per miss and a stamp touch costs a numpy scalar
+    store per hit, which benchmarked 20% slower end-to-end than the
+    O(1) dict operations on the Table II workloads (spans of 1-4 lines
+    dominate; see docs/simulator.md).
+
+Ways within a set stay dense: a fill either reuses the evicted line's
+way or appends at ``len(order_set)``. ``order`` is authoritative; the
+sequential walk leaves ``tags`` stale on allocations (it only flips the
+state's ``dirty`` flag — cheaper than a per-miss tag store) and the
+batch probe re-syncs ``tags`` from the dicts first when needed.
+
+The accessor produced by :func:`make_vector_accessor` is a drop-in for
+the scalar :meth:`MemoryHierarchy.accessor` closure: it updates the same
+:class:`~repro.memory.cache.CacheStats` / DRAM / MSHR objects, walks
+miss lines through ``dram.service`` in the same deterministic span
+order, and returns the same completion cycle — the golden equivalence
+suite and ``tests/test_vector_backend.py`` pin the two paths
+bit-for-bit. Spans the batch probe cannot express (same-set collisions
+inside one span, writes, an MSHR table near capacity) fall through to
+the sequential walk per call, never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.cache import Cache
+    from repro.memory.hierarchy import MemoryHierarchy
+
+#: spans shorter than this take the sequential dict walk: the fixed cost
+#: of a numpy gather/compare round trip (array view, two modulos, the
+#: distinct-set checks) only amortizes once a warp instruction coalesces
+#: to many distinct lines — measured break-even is ~24 lines on the
+#: bench host, so the default stays above every Table II span
+DEFAULT_BATCH_THRESHOLD = 24
+
+_NEG = -1
+
+#: miss sentinel for the single-probe set walk (see hierarchy._MISS):
+#: ``order_set.pop(line, _MISS)`` resolves hit-test + LRU-unlink in one
+#: hash probe and can never collide with a stored way index
+_MISS = object()
+
+
+class VectorCacheState:
+    """One cache's set state as a flat numpy tag array plus LRU dicts.
+
+    Mirrors a :class:`~repro.memory.cache.Cache`'s geometry and shares
+    its :class:`CacheStats`; the dict-of-sets state of the wrapped cache
+    stays untouched (and empty) while a vector accessor is in use.
+    """
+
+    __slots__ = ("num_sets", "assoc", "tags", "order", "stats", "dirty")
+
+    def __init__(self, cache: "Cache") -> None:
+        self.num_sets = cache.num_sets
+        self.assoc = cache.associativity
+        self.tags = np.full(self.num_sets * self.assoc, _NEG, dtype=np.int64)
+        self.order: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self.stats = cache.stats
+        #: True when ``order`` has allocations/evictions not yet reflected
+        #: in ``tags``. The sequential walk only flips this flag instead of
+        #: patching ``tags`` per miss; the batch probe calls :meth:`sync`
+        #: first. Keeps the (hot) short-span walk at exactly scalar cost.
+        self.dirty = False
+
+    def sync(self) -> None:
+        """Rebuild ``tags`` from the authoritative LRU dicts (in place)."""
+        self.tags.fill(_NEG)
+        mv = memoryview(self.tags)
+        for order_set in self.order:
+            for line, way in order_set.items():
+                mv[way] = line
+        self.dirty = False
+
+    # Test/introspection helpers -------------------------------------------
+    def resident_lines(self) -> set[int]:
+        lines: set[int] = set()
+        for order_set in self.order:
+            lines.update(order_set)
+        return lines
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self.order)
+
+
+def make_vector_accessor(hier: "MemoryHierarchy", smx_id: int):
+    """Vector-backend counterpart of ``MemoryHierarchy._make_accessor``.
+
+    Returns ``fn(lines, begin, end, now, is_write=False) -> complete_at``
+    with scalar-walk-identical semantics. Reads whose span reaches the
+    hierarchy's ``vector_batch_threshold`` are probed through the numpy
+    tag array (set-index gather, tag compare, hit mask); everything else
+    — short spans, writes, spans with same-set collisions — walks the
+    LRU dicts line by line at scalar-walk cost, deferring ``tags``
+    coherence to the next batch probe via the per-cache dirty flag.
+    """
+    vl1 = hier._vec_l1s[smx_id]
+    vl2 = hier._vec_l2
+    l1_tags = vl1.tags
+    l2_tags = vl2.tags
+
+    def access(
+        lines,
+        begin,
+        end,
+        now,
+        is_write=False,
+        # per-call constants frozen as defaults (same trick as the
+        # scalar accessor: the prologue collapses to local loads)
+        _l1_tags=l1_tags,
+        _l1_order=vl1.order,
+        _l1_num_sets=vl1.num_sets,
+        _l1_assoc=vl1.assoc,
+        _l1_stats=vl1.stats,
+        _l2_tags=l2_tags,
+        _l2_order=vl2.order,
+        _l2_num_sets=vl2.num_sets,
+        _l2_assoc=vl2.assoc,
+        _l2_stats=vl2.stats,
+        # memoryviews over the tag buffers: single-element stores on the
+        # batch miss path cost ~2x less than numpy scalar indexing
+        _l1_tags_mv=memoryview(l1_tags),
+        _l2_tags_mv=memoryview(l2_tags),
+        _vl1=vl1,
+        _vl2=vl2,
+        _dram_service=hier.drams[0].service,
+        _inflight=hier._inflight,
+        _inflight_get=hier._inflight.get,
+        _cfg_merging=hier._merging,
+        _l1_lat=hier._l1_lat,
+        _l2_lat=hier._l2_lat,
+        _miss=_MISS,
+        _hier=hier,
+        _np=np,
+        _unique=np.unique,
+        _frombuffer=np.frombuffer,
+    ):
+        complete_at = now
+        merging = _cfg_merging and bool(_inflight)
+        n = end - begin
+
+        # ---- batched numpy probe (wide read spans only) ------------------
+        if (
+            n >= _hier.vector_batch_threshold
+            and not is_write
+            # capacity guard: near the MSHR table limit the scalar walk
+            # may evict fills *between* the lines of one span, which the
+            # batched hit probe cannot observe
+            and len(_inflight) + n <= _hier.mshr_limit
+        ):
+            if _vl1.dirty:
+                _vl1.sync()
+            if _vl2.dirty:
+                _vl2.sync()
+            try:
+                arr = _frombuffer(lines, dtype=_np.int64, count=n, offset=begin * 8)
+            except (TypeError, ValueError, AttributeError):
+                arr = None  # not a typed buffer: take the sequential walk
+            if arr is not None:
+                l1_set = arr % _l1_num_sets
+                l2_set = arr % _l2_num_sets
+                # an earlier line's allocation may change a later line's
+                # hit/miss within the same set; batch only distinct sets
+                if len(_unique(l1_set)) == n and len(_unique(l2_set)) == n:
+                    # one gather + compare resolves every L1 hit at once
+                    l1_base = l1_set * _l1_assoc
+                    l1_block = _l1_tags[
+                        l1_base[:, None] + _np.arange(_l1_assoc)
+                    ]
+                    l1_hit_mask = (l1_block == arr[:, None]).any(axis=1)
+                    k1 = int(l1_hit_mask.sum())
+                    _l1_stats.accesses += n
+                    _l1_stats.hits += k1
+                    _l1_stats.misses += n - k1
+                    span = arr.tolist()
+                    hits = l1_hit_mask.tolist()
+                    sets1 = l1_set.tolist()
+                    # L1 hits: LRU touch (pop+reinsert) in span order; the
+                    # distinct-set precondition makes the relative order
+                    # against this span's misses irrelevant per set
+                    for j, line in enumerate(span):
+                        if not hits[j]:
+                            continue
+                        order_set = _l1_order[sets1[j]]
+                        order_set[line] = order_set.pop(line)
+                        if merging:
+                            fill = _inflight_get(line, 0)
+                            if fill > now:
+                                _hier.mshr_merges += 1
+                                if fill > complete_at:
+                                    complete_at = fill
+                                continue
+                        done = now + _l1_lat
+                        if done > complete_at:
+                            complete_at = done
+                    if k1 == n:
+                        return complete_at
+                    # L1 misses: allocate, then walk L2 in span order
+                    sets2 = l2_set.tolist()
+                    l2_acc = l2_hit = 0
+                    for j, line in enumerate(span):
+                        if hits[j]:
+                            continue
+                        order_set = _l1_order[sets1[j]]
+                        base = sets1[j] * _l1_assoc
+                        if len(order_set) >= _l1_assoc:
+                            victim = next(iter(order_set))
+                            way = order_set.pop(victim)
+                            _l1_stats.evictions += 1
+                        else:
+                            way = base + len(order_set)
+                        _l1_tags_mv[way] = line
+                        order_set[line] = way
+                        # L2 (allocates on all misses)
+                        l2_acc += 1
+                        o2 = _l2_order[sets2[j]]
+                        w2 = o2.pop(line, _miss)
+                        if w2 is not _miss:
+                            o2[line] = w2
+                            l2_hit += 1
+                            fill = _inflight_get(line, 0) if merging else 0
+                            if fill > now:
+                                _hier.mshr_merges += 1
+                                if fill > complete_at:
+                                    complete_at = fill
+                            else:
+                                done = now + _l2_lat
+                                if done > complete_at:
+                                    complete_at = done
+                        else:
+                            base2 = sets2[j] * _l2_assoc
+                            if len(o2) >= _l2_assoc:
+                                victim = next(iter(o2))
+                                w2 = o2.pop(victim)
+                                _l2_stats.evictions += 1
+                            else:
+                                w2 = base2 + len(o2)
+                            _l2_tags_mv[w2] = line
+                            o2[line] = w2
+                            done = _dram_service(now)
+                            if _cfg_merging:
+                                _hier._mshr_insert(line, done, now)
+                                merging = True
+                            if done > complete_at:
+                                complete_at = done
+                    _l2_stats.accesses += l2_acc
+                    _l2_stats.hits += l2_hit
+                    _l2_stats.misses += l2_acc - l2_hit
+                    return complete_at
+
+        # ---- sequential walk over the LRU dicts (scalar-walk cost) -------
+        l1_hit = l1_miss = l1_evict = l1_wacc = l1_whit = 0
+        l2_hit = l2_miss = l2_evict = l2_wacc = l2_whit = 0
+        for k in range(begin, end):
+            line = lines[k]
+            set1 = line % _l1_num_sets
+            order_set = _l1_order[set1]
+            way = order_set.pop(line, _miss)
+            if way is not _miss:
+                order_set[line] = way  # reinsert at MRU position
+                l1_hit += 1
+                if not is_write:
+                    fill = _inflight_get(line, 0) if merging else 0
+                    if fill > now:
+                        _hier.mshr_merges += 1
+                        if fill > complete_at:
+                            complete_at = fill
+                    else:
+                        done = now + _l1_lat
+                        if done > complete_at:
+                            complete_at = done
+                    continue
+                l1_wacc += 1
+                l1_whit += 1
+            else:
+                l1_miss += 1
+                if is_write:
+                    l1_wacc += 1
+                else:
+                    # allocate: reuse the LRU victim's way, else append.
+                    # `tags` is left stale (dirty flag set after the walk)
+                    if len(order_set) >= _l1_assoc:
+                        victim = next(iter(order_set))
+                        way = order_set.pop(victim)
+                        l1_evict += 1
+                    else:
+                        way = set1 * _l1_assoc + len(order_set)
+                    order_set[line] = way
+            # L2 (allocates on both loads and stores)
+            set2 = line % _l2_num_sets
+            o2 = _l2_order[set2]
+            way = o2.pop(line, _miss)
+            if way is not _miss:
+                o2[line] = way
+                l2_hit += 1
+                if is_write:
+                    l2_wacc += 1
+                    l2_whit += 1
+                fill = _inflight_get(line, 0) if merging else 0
+                if fill > now:
+                    _hier.mshr_merges += 1
+                    if fill > complete_at:
+                        complete_at = fill
+                else:
+                    done = now + _l2_lat
+                    if done > complete_at:
+                        complete_at = done
+            else:
+                l2_miss += 1
+                if is_write:
+                    l2_wacc += 1
+                if len(o2) >= _l2_assoc:
+                    victim = next(iter(o2))
+                    way = o2.pop(victim)
+                    l2_evict += 1
+                else:
+                    way = set2 * _l2_assoc + len(o2)
+                o2[line] = way
+                done = _dram_service(now)
+                if not is_write and _cfg_merging:
+                    _hier._mshr_insert(line, done, now)
+                    merging = True
+                if done > complete_at:
+                    complete_at = done
+        if l1_miss and not is_write:
+            _vl1.dirty = True  # at least one L1 allocation happened
+        if l2_miss:
+            _vl2.dirty = True  # every L2 miss allocates, load or store
+        _l1_stats.accesses += l1_hit + l1_miss
+        _l1_stats.hits += l1_hit
+        _l1_stats.misses += l1_miss
+        if l1_evict:
+            _l1_stats.evictions += l1_evict
+        if l1_wacc:
+            _l1_stats.write_accesses += l1_wacc
+            _l1_stats.write_hits += l1_whit
+        _l2_stats.accesses += l2_hit + l2_miss
+        _l2_stats.hits += l2_hit
+        _l2_stats.misses += l2_miss
+        if l2_evict:
+            _l2_stats.evictions += l2_evict
+        if l2_wacc:
+            _l2_stats.write_accesses += l2_wacc
+            _l2_stats.write_hits += l2_whit
+        return complete_at
+
+    access.vector_backend = True  # introspection hook for the fallback tests
+    return access
