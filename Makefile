@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= small
 JOBS ?= 1
 
-.PHONY: install lint test test-fast bench bench-tiny bench-json bench-refresh perf-smoke figures experiments grid-fast trace-demo tune-fast validate clean
+.PHONY: install lint test test-fast bench bench-tiny bench-json bench-refresh perf-smoke serve-smoke figures experiments grid-fast trace-demo tune-fast validate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -49,6 +49,12 @@ perf-smoke:
 		--baseline BENCH_simulator.json
 	$(PYTHON) scripts/check_bench_regression.py .bench_smoke.json \
 		--baseline BENCH_simulator.json --max-regression 0.25
+
+# end-to-end smoke of the job service: spawns `repro serve` on a scratch
+# cache, drives it with concurrent clients, checks the zero-work warm
+# path, /metrics surface and SIGTERM drain (docs/service.md)
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/service_load_test.py --clients 4 --jobs 2
 
 figures: bench
 

@@ -13,6 +13,8 @@
     repro footprint                         # Figure 2 analysis
     repro trace bfs-citation -o trace.json  # Chrome/Perfetto trace export
     repro snapshot amr -o amr.json.gz       # save a workload spec for reuse
+    repro serve --jobs 4                    # long-lived simulation service
+    repro submit bfs-citation --follow      # run via the service, stream progress
 
 Every command accepts ``--scale tiny|small|paper`` (default: small).
 ``run``, ``compare`` and ``grid`` go through the RunSpec execution layer
@@ -33,7 +35,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core import SCHEDULER_ORDER, describe_components
+from repro.core import SCHEDULER_ORDER
 from repro.dynpar import MODELS
 from repro.gpu.config import KEPLER_K20C
 from repro.harness.cache import ResultCache
@@ -41,9 +43,9 @@ from repro.harness.execution import Executor, RunSpec, make_executor
 from repro.harness.workload_cache import WorkloadCache
 from repro.harness.registry import (
     benchmark_names,
+    catalog_dict,
     experiment_config,
     load_benchmark,
-    scheduler_catalog,
 )
 from repro.harness.report import (
     render_config,
@@ -113,20 +115,26 @@ def _parse_bytes(text: str) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    catalog = catalog_dict()
+    if args.json:
+        import json
+
+        print(json.dumps(catalog, indent=2, sort_keys=True))
+        return 0
     print("benchmarks:")
-    for name in benchmark_names():
+    for name in catalog["benchmarks"]:
         print(f"  {name}")
-    catalog = scheduler_catalog()
-    width = max(len(row["name"]) for row in catalog)
+    schedulers = catalog["schedulers"]
+    width = max(len(row["name"]) for row in schedulers)
     print("\nschedulers (append +throttle for contention-aware TB throttling):")
-    for row in catalog:
+    for row in schedulers:
         origin = "paper" if row["paper"] else "composed"
         print(f"  {row['name']:<{width}}  {row['spec']}  [{origin}]")
     print("\nscheduler spec grammar (-s accepts any composition):")
-    for axis, values in describe_components().items():
+    for axis, values in catalog["spec_grammar"].items():
         print(f"  {axis} = {' | '.join(values)}")
     print("\nlaunch models:")
-    for name in MODELS:
+    for name in catalog["launch_models"]:
         print(f"  {name}")
     return 0
 
@@ -423,6 +431,55 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived simulation service (docs/service.md)."""
+    from repro.service import serve
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(_cache_dir_from_args(args))
+    return serve(
+        host=args.host,
+        port=args.port,
+        jobs=max(args.jobs, 1),
+        queue_limit=args.queue_limit,
+        cache=cache,
+        default_deadline=args.deadline,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one run to a ``repro serve`` instance and wait for it."""
+    from repro.gpu.serialize import stats_from_obj
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    job = client.submit(
+        args.benchmark,
+        args.scheduler,
+        args.model,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        deadline=args.deadline,
+    )
+    print(f"submitted {job['id']} ({job['state']})", file=sys.stderr)
+    if args.no_wait:
+        print(job["id"])
+        return 0
+    if args.follow:
+        for event in client.events(job["id"]):
+            print(f"[{event['seq']}] {event['state']}: {event['detail']}", file=sys.stderr)
+        job = client.job(job["id"])
+    elif job["state"] not in ("done", "failed", "cancelled"):
+        job = client.wait(job["id"], timeout=args.timeout)
+    if job["state"] != "done":
+        raise RuntimeError(f"job {job['id']} {job['state']}: {job.get('error')}")
+    print(f"job {job['id']} done (source={job['source']})", file=sys.stderr)
+    print(stats_from_obj(job["stats"]).summary())
+    return 0
+
+
 def cmd_footprint(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_footprint
     from repro.harness.registry import iter_benchmarks
@@ -444,7 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, schedulers and launch models")
+    list_p = sub.add_parser("list", help="list benchmarks, schedulers and launch models")
+    list_p.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable catalog (same payload as the "
+        "service's GET /v1/catalog)",
+    )
     sub.add_parser("config", help="print the Table I machine configurations")
 
     run_p = sub.add_parser("run", help="simulate one benchmark/scheduler/model")
@@ -554,6 +616,66 @@ def build_parser() -> argparse.ArgumentParser:
             help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
         )
 
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived simulation service (docs/service.md)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = ephemeral, printed on startup; default: 8642)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="persistent simulation worker processes (default: 2)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="max queued jobs before submissions get HTTP 429 (default: 64)",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-job execution deadline (default: none)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk result cache (every job executes)",
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one run to a running service and print its stats"
+    )
+    submit_p.add_argument("benchmark", choices=benchmark_names())
+    submit_p.add_argument("-s", "--scheduler", default="adaptive-bind")
+    submit_p.add_argument("-m", "--model", choices=sorted(MODELS), default="dtbl")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=8642)
+    submit_p.add_argument(
+        "--backend", choices=("scalar", "vector"), default="",
+        help="engine implementation (default: server's default)",
+    )
+    submit_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job execution deadline",
+    )
+    submit_p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="how long to poll for completion (default: 300)",
+    )
+    submit_p.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's SSE progress events while waiting",
+    )
+    submit_p.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit without waiting",
+    )
+    submit_p.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
+    _add_scale(submit_p)
+
     fp_p = sub.add_parser("footprint", help="run the Figure 2 footprint analysis")
     _add_scale(fp_p)
 
@@ -592,6 +714,8 @@ COMMANDS = {
     "grid": cmd_grid,
     "tune": cmd_tune,
     "cache": cmd_cache,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "footprint": cmd_footprint,
     "validate": cmd_validate,
     "trace": cmd_trace,

@@ -25,8 +25,32 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Optional
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically, safe under concurrent writers.
+
+    The temp file comes from :func:`tempfile.mkstemp` in the target
+    directory, so every concurrent writer — other processes, other
+    threads *in the same process* — gets a distinct name (a pid-suffixed
+    name is not enough: two threads share a pid and would race each
+    other's ``os.replace``). Readers only ever observe complete records;
+    when several writers race the same key, the last rename wins.
+    """
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ResultCache:
@@ -67,12 +91,14 @@ class ResultCache:
         return record
 
     def store(self, key: str, record: dict) -> None:
-        """Atomically write ``record`` under ``key`` (overwrites)."""
+        """Atomically write ``record`` under ``key`` (overwrites).
+
+        Safe under concurrent same-key writers across processes *and*
+        threads: see :func:`atomic_write_text`.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(record, sort_keys=True))
         self.stores += 1
 
     def __len__(self) -> int:

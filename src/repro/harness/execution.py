@@ -30,6 +30,7 @@ import hashlib
 import json
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence
 
@@ -561,6 +562,41 @@ class ParallelExecutor(Executor):
                 kernel_for(benchmark, scale, seed)
             initializer = _worker_init
             initargs = (str(disk.root), keys)
+        out: list[SimStats] = []
+        try:
+            self._pool_run_into(specs, out, initializer, initargs)
+        except BrokenProcessPool:
+            # a worker died mid-batch (OOM kill, segfault, os._exit). The
+            # pool delivers results in submission order, so everything past
+            # len(out) is unaccounted for; retry those once on a fresh pool.
+            lost = list(specs[len(out):])
+            recovered = len(out)
+            try:
+                self._pool_run_into(lost, out, initializer, initargs)
+            except BrokenProcessPool:
+                failing = lost[len(out) - recovered:]
+                shown = ", ".join(s.label() for s in failing[:4])
+                if len(failing) > 4:
+                    shown += f", ... ({len(failing) - 4} more)"
+                raise RuntimeError(
+                    f"simulation worker pool crashed twice; failing specs: {shown}"
+                ) from None
+        return out
+
+    def _pool_run_into(
+        self,
+        specs: Sequence[RunSpec],
+        out: list[SimStats],
+        initializer,
+        initargs,
+    ) -> None:
+        """Run ``specs`` on one pool, appending to ``out`` as results land.
+
+        Appending (rather than returning a list) is what makes crash
+        recovery possible: when the pool breaks mid-batch, ``out`` holds
+        exactly the results delivered so far, in submission order, so the
+        caller knows which specs were lost.
+        """
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(specs)),
             initializer=initializer,
@@ -570,12 +606,10 @@ class ParallelExecutor(Executor):
                 {"spec": spec.to_dict(), "collect_telemetry": self.collect_telemetry}
                 for spec in specs
             ]
-            out: list[SimStats] = []
             for spec, obj in zip(specs, pool.map(_worker_run, payloads)):
                 if obj["telemetry"] is not None:
                     self.telemetry[spec] = obj["telemetry"]
                 out.append(stats_from_obj(obj["stats"]))
-            return out
 
 
 def make_executor(

@@ -14,9 +14,13 @@ DESIGN.md §2 and EXPERIMENTS.md document this scaling.
 
 from __future__ import annotations
 
-from repro.core import NAMED_COMPOSITIONS, SCHEDULER_ORDER
+from repro.core import NAMED_COMPOSITIONS, SCHEDULER_ORDER, describe_components
+from repro.dynpar import MODELS
 from repro.gpu.config import CacheConfig, GPUConfig
 from repro.workloads import APPLICATIONS, Workload, make_workload
+
+#: input sizes every CLI command and service request accepts
+SCALES = ("tiny", "small", "paper")
 
 #: (application, input) pairs, in the paper's Table II order
 BENCHMARKS: list[tuple[str, str]] = [
@@ -76,6 +80,24 @@ def scheduler_catalog() -> list[dict]:
         }
         for name in ordered
     ]
+
+
+def catalog_dict() -> dict:
+    """One machine-readable catalog of everything the harness can run.
+
+    The single source behind ``repro list`` (``--json`` prints it
+    verbatim), the service's ``GET /v1/catalog`` and any external tool
+    that wants to enumerate the experiment space: benchmarks in Table II
+    order, the named scheduler compositions with canonical specs, the
+    spec grammar axes, the launch models and the accepted scales.
+    """
+    return {
+        "benchmarks": benchmark_names(),
+        "schedulers": scheduler_catalog(),
+        "spec_grammar": describe_components(),
+        "launch_models": sorted(MODELS),
+        "scales": list(SCALES),
+    }
 
 
 def experiment_config(**overrides) -> GPUConfig:

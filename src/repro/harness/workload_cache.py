@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
 import zlib
 from pathlib import Path
 from typing import Optional
@@ -112,9 +113,19 @@ class WorkloadCache:
         """Atomically write this workload's trace (overwrites)."""
         path = self.path_for(self.key_for(benchmark, scale, seed))
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        save_spec(spec, tmp)
-        os.replace(tmp, path)
+        # mkstemp (not a pid-suffixed name) so concurrent writers — other
+        # processes or threads in this one — never share a temp path
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+        os.close(fd)
+        try:
+            save_spec(spec, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.stores += 1
 
     def __len__(self) -> int:

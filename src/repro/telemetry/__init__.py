@@ -36,6 +36,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     MetricsSink,
     gini,
+    render_prometheus,
 )
 
 __all__ = [
@@ -64,6 +65,7 @@ __all__ = [
     "WorkStolen",
     "assert_valid_trace",
     "gini",
+    "render_prometheus",
     "validate_trace",
     "write_trace",
 ]

@@ -154,6 +154,67 @@ class MetricsRegistry:
         return out
 
 
+def _prom_labels(labels: dict) -> str:
+    """Render one label set as ``{k="v",...}`` (empty string when bare)."""
+    if not labels:
+        return ""
+    parts = []
+    for key, value in sorted(labels.items()):
+        text = str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{key}="{text}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render a :class:`MetricsRegistry` in Prometheus text format.
+
+    This is what the service's ``GET /metrics`` endpoint serves. The
+    mapping follows the exposition-format conventions:
+
+    * counters get a ``_total`` suffix,
+    * gauges render as-is plus a ``_max`` companion gauge (the
+      high-water mark :class:`Gauge` tracks),
+    * histograms render cumulative ``_bucket{le=...}`` series ending in
+      ``le="+Inf"``, plus ``_sum`` and ``_count``.
+
+    Metric names are prefixed with ``namespace_`` and label values are
+    escaped per the format (backslash, double quote, newline).
+    """
+    lines: list[str] = []
+    for name, entries in registry.snapshot().items():
+        full = f"{namespace}_{name}" if namespace else name
+        kind = entries[0]["kind"]
+        if kind == "counter":
+            lines.append(f"# TYPE {full}_total counter")
+            for entry in entries:
+                labels = _prom_labels(entry["labels"])
+                lines.append(f"{full}_total{labels} {entry['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {full} gauge")
+            for entry in entries:
+                labels = _prom_labels(entry["labels"])
+                lines.append(f"{full}{labels} {entry['value']}")
+            lines.append(f"# TYPE {full}_max gauge")
+            for entry in entries:
+                labels = _prom_labels(entry["labels"])
+                lines.append(f"{full}_max{labels} {entry['max']}")
+        else:
+            lines.append(f"# TYPE {full} histogram")
+            for entry in entries:
+                base = dict(entry["labels"])
+                cumulative = 0
+                for bound, count in zip(entry["bounds"], entry["counts"]):
+                    cumulative += count
+                    labels = _prom_labels({**base, "le": bound})
+                    lines.append(f"{full}_bucket{labels} {cumulative}")
+                labels = _prom_labels({**base, "le": "+Inf"})
+                lines.append(f"{full}_bucket{labels} {entry['total']}")
+                plain = _prom_labels(base)
+                lines.append(f"{full}_sum{plain} {entry['sum']}")
+                lines.append(f"{full}_count{plain} {entry['total']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def gini(values: Sequence[float]) -> float:
     """Gini coefficient of a non-negative distribution.
 

@@ -209,3 +209,64 @@ class TestTuneParser:
         )
         assert args.pareto == ["gini"]
         assert args.candidates == ["rr", "smx-bind"]
+
+
+class TestServiceCommands:
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.harness.registry import catalog_dict
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(json.dumps(catalog_dict()))
+        assert "amr" in payload["benchmarks"]
+        assert payload["scales"] == ["tiny", "small", "paper"]
+        assert "launch_models" in payload and "spec_grammar" in payload
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8642
+        assert args.jobs == 2
+        assert args.queue_limit == 64
+        assert args.deadline is None
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "amr", "--scale", "tiny"])
+        assert args.scheduler == "adaptive-bind"
+        assert args.model == "dtbl"
+        assert args.port == 8642
+        assert not args.follow and not args.no_wait
+
+    def test_submit_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "nonexistent"])
+
+    def test_submit_connection_refused_is_clean_error(self, capsys):
+        # port 1 is never listening; the CLI must exit 2 with one line
+        code = main(["submit", "amr", "--scale", "tiny", "--port", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "Traceback" not in err
+
+    def test_submit_end_to_end_against_service_thread(self, tmp_path, capsys):
+        from repro.service import ServiceThread
+
+        with ServiceThread(jobs=1, cache_dir=tmp_path) as svc:
+            code = main([
+                "submit", "amr", "-s", "rr", "--scale", "tiny", "--seed", "55",
+                "--port", str(svc.port),
+            ])
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "cycles=" in captured.out
+            assert "source=executed" in captured.err
+            # resubmit: answered from the shared result cache
+            code = main([
+                "submit", "amr", "-s", "rr", "--scale", "tiny", "--seed", "55",
+                "--port", str(svc.port),
+            ])
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "source=cache" in captured.err

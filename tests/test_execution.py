@@ -300,3 +300,108 @@ class TestSweepComposition:
         for _, speedup, wait in rows:
             assert speedup > 0
             assert wait >= 0
+
+
+# -- concurrent writers ------------------------------------------------------
+
+
+class TestResultCacheConcurrency:
+    """Many writers racing on the same key must never corrupt a record
+    or leak temp files (the service's coalescing makes this routine)."""
+
+    def test_same_key_thread_storm(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "aa" + "7" * 62
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def writer(i):
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    cache.store(key, {"engine_version": 2, "stats": {"writer": i}})
+            except Exception as exc:  # pragma: no cover - the failure under test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        record = cache.load(key)
+        assert record is not None and record["engine_version"] == 2
+        assert not list(tmp_path.rglob("*.tmp")), "leaked temp files"
+
+    def test_atomic_write_cleans_up_on_failure(self, tmp_path):
+        from repro.harness.cache import atomic_write_text
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "{}")
+        assert target.read_text(encoding="utf-8") == "{}"
+        assert not list(tmp_path.glob(".*tmp"))
+
+
+# -- worker crash recovery ---------------------------------------------------
+
+_REAL_WORKER_RUN = None  # set by the fixture; module-level for picklability
+
+
+def _crash_once_worker_run(payload):
+    """Claims the flag file exactly once and dies; runs normally after."""
+    flag = os.environ.get("REPRO_TEST_CRASH_FLAG", "")
+    if flag:
+        try:
+            os.unlink(flag)  # atomic claim: exactly one worker wins
+        except FileNotFoundError:
+            pass
+        else:
+            os._exit(1)
+    return _REAL_WORKER_RUN(payload)
+
+
+def _always_crash_worker_run(payload):
+    os._exit(1)
+
+
+class TestParallelCrashRecovery:
+    """ParallelExecutor retries specs lost to a broken pool exactly once."""
+
+    @staticmethod
+    def _specs(n=4):
+        return [
+            RunSpec.create("amr", "rr", "dtbl", scale="tiny", seed=seed, config=TINY_CONFIG)
+            for seed in range(1, n + 1)
+        ]
+
+    def test_single_crash_is_retried_transparently(self, tmp_path, monkeypatch):
+        from repro.harness import execution
+
+        global _REAL_WORKER_RUN
+        _REAL_WORKER_RUN = execution._worker_run
+        flag = tmp_path / "crash-once"
+        flag.write_text("armed", encoding="utf-8")
+        monkeypatch.setenv("REPRO_TEST_CRASH_FLAG", str(flag))
+        monkeypatch.setattr(execution, "_worker_run", _crash_once_worker_run)
+
+        specs = self._specs()
+        results = ParallelExecutor(jobs=2).run(specs)
+        assert len(results) == len(specs)
+        assert not flag.exists(), "the crash flag was never claimed"
+        expected = SerialExecutor().run(specs)
+        assert {s: r.cycles for s, r in results.items()} == {
+            s: r.cycles for s, r in expected.items()
+        }
+
+    def test_double_crash_names_the_failing_specs(self, monkeypatch):
+        from repro.harness import execution
+
+        monkeypatch.delenv("REPRO_TEST_CRASH_FLAG", raising=False)
+        monkeypatch.setattr(execution, "_worker_run", _always_crash_worker_run)
+
+        specs = self._specs()
+        with pytest.raises(RuntimeError, match="crashed twice") as err:
+            ParallelExecutor(jobs=2).run(specs)
+        assert "amr/rr/dtbl" in str(err.value)

@@ -446,3 +446,56 @@ class TestExecutorTelemetry:
         reader.run_one(spec)
         assert reader.hits == 1
         assert reader.telemetry_for(spec) is None
+
+
+class TestPrometheusExposition:
+    """render_prometheus backs the service's GET /metrics endpoint."""
+
+    def test_counter_gets_total_suffix(self):
+        from repro.telemetry import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("jobs", state="done").inc(3)
+        registry.counter("jobs", state="failed").inc()
+        text = render_prometheus(registry, namespace="repro")
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{state="done"} 3' in text
+        assert 'repro_jobs_total{state="failed"} 1' in text
+
+    def test_gauge_renders_value_and_high_water_mark(self):
+        from repro.telemetry import render_prometheus
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(5)
+        gauge.set(2)
+        text = render_prometheus(registry)
+        assert "repro_queue_depth 2" in text
+        assert "repro_queue_depth_max 5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.telemetry import render_prometheus
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", bounds=(1, 10))
+        for value in (0.5, 0.7, 5, 50):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'repro_latency_bucket{le="1"} 2' in text
+        assert 'repro_latency_bucket{le="10"} 3' in text
+        assert 'repro_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_latency_count 4" in text
+        assert "repro_latency_sum 56.2" in text
+
+    def test_label_values_are_escaped(self):
+        from repro.telemetry import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("odd", path='a"b\\c').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_registry_renders_empty(self):
+        from repro.telemetry import render_prometheus
+
+        assert render_prometheus(MetricsRegistry()) == ""
